@@ -1,0 +1,124 @@
+(* The benchmark harness regenerates every table and figure of the
+   paper's evaluation (Section VII plus the attack studies of Section
+   IV), then runs Bechamel micro-benchmarks of the core primitives.
+
+   Fidelity: `GECKO_BENCH=full` runs the sweep densities recorded in
+   EXPERIMENTS.md; the default quick mode uses coarser grids and shorter
+   simulated durations (same code paths). *)
+
+module E = Gecko_harness.Experiments
+module Core = Gecko_core
+module W = Gecko_workloads.Workload
+open Gecko_isa
+
+let fidelity =
+  match Sys.getenv_opt "GECKO_BENCH" with
+  | Some "full" -> E.Full
+  | Some _ | None -> E.Quick
+
+let banner name =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') name
+    (String.make 74 '=')
+
+let regenerate () =
+  List.iter
+    (fun (name, text) ->
+      banner name;
+      print_string text;
+      flush stdout)
+    (E.all fidelity)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let crc32_prog = lazy ((W.find "crc32").W.build ())
+
+let bench_compile scheme =
+  Test.make
+    ~name:(Printf.sprintf "compile crc32 as %s" (Core.Scheme.to_string scheme))
+    (Staged.stage (fun () ->
+         ignore (Core.Pipeline.compile scheme (Lazy.force crc32_prog))))
+
+let bench_simulate scheme =
+  let image, meta =
+    let p, meta = Core.Pipeline.compile scheme (Lazy.force crc32_prog) in
+    (Link.link p, meta)
+  in
+  let board = Gecko_machine.Board.default () in
+  Test.make
+    ~name:(Printf.sprintf "simulate crc32 as %s" (Core.Scheme.to_string scheme))
+    (Staged.stage (fun () ->
+         ignore
+           (Gecko_machine.Machine.run ~board ~image ~meta
+              Gecko_machine.Machine.default_options)))
+
+let bench_amplitude =
+  let profile =
+    Gecko_devices.Catalog.msp430fr5994.Gecko_devices.Device.adc_profile
+  in
+  let attack =
+    Gecko_emi.Attack.remote ~distance_m:1.0
+      (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:30.)
+  in
+  Test.make ~name:"emi induced_amplitude"
+    (Staged.stage (fun () ->
+         ignore (Gecko_emi.Attack.induced_amplitude ~profile attack)))
+
+let bench_capacitor =
+  Test.make ~name:"capacitor drain+charge x100"
+    (Staged.stage (fun () ->
+         let c =
+           Gecko_energy.Capacitor.create ~capacitance:1e-3 ~v_max:3.3
+             ~v_init:3.0
+         in
+         for _ = 1 to 100 do
+           ignore (Gecko_energy.Capacitor.drain c 1e-9);
+           Gecko_energy.Capacitor.source_current c ~amps:1e-3 ~dt:1e-6
+         done))
+
+let micro_benchmarks () =
+  banner "Bechamel micro-benchmarks (ns per run)";
+  let tests =
+    Test.make_grouped ~name:"gecko"
+      [
+        bench_compile Core.Scheme.Nvp;
+        bench_compile Core.Scheme.Ratchet;
+        bench_compile Core.Scheme.Gecko;
+        bench_simulate Core.Scheme.Nvp;
+        bench_simulate Core.Scheme.Gecko;
+        bench_amplitude;
+        bench_capacitor;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some [ v ] -> v
+        | Some _ | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-40s %14.0f ns/run\n" name ns)
+    (List.sort compare !rows)
+
+let () =
+  Printf.printf
+    "GECKO benchmark harness — %s fidelity (set GECKO_BENCH=full for the \
+     grids recorded in EXPERIMENTS.md)\n"
+    (match fidelity with E.Quick -> "quick" | E.Full -> "full");
+  regenerate ();
+  micro_benchmarks ();
+  print_newline ()

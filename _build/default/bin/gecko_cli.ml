@@ -1,0 +1,217 @@
+(* The `gecko` command-line tool: compile workloads, inspect the pipeline,
+   run intermittent executions, stage EMI attacks and regenerate the
+   paper's experiments. *)
+
+open Cmdliner
+module Compiler = Gecko.Compiler
+module M = Gecko.Machine
+module W = Gecko.Workloads
+
+let scheme_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "nvp" -> Ok Compiler.Scheme.Nvp
+    | "ratchet" -> Ok Compiler.Scheme.Ratchet
+    | "gecko" -> Ok Compiler.Scheme.Gecko
+    | "gecko-noprune" | "noprune" -> Ok Compiler.Scheme.Gecko_noprune
+    | _ -> Error (`Msg "scheme must be nvp | ratchet | gecko | gecko-noprune")
+  in
+  let print ppf s = Format.pp_print_string ppf (Compiler.Scheme.to_string s) in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  let doc = "Benchmark application (see `gecko list`) or a .gasm file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let scheme_arg =
+  let doc = "Recovery scheme: nvp, ratchet, gecko, gecko-noprune." in
+  Arg.(value & opt scheme_conv Compiler.Scheme.Gecko & info [ "s"; "scheme" ] ~doc)
+
+let find_workload name =
+  if Filename.check_suffix name ".gasm" then
+    match Gecko.Isa.Asm.parse_file name with
+    | Ok p -> p
+    | Error e ->
+        Printf.eprintf "%s: %s\n" name e;
+        exit 1
+  else
+    try (W.find name).W.build ()
+    with Not_found ->
+      Printf.eprintf "unknown workload %s; see `gecko list`\n" name;
+      exit 1
+
+(* --- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "workloads:";
+    List.iter
+      (fun w -> Printf.printf "  %-14s %s\n" w.W.name w.W.description)
+      W.all;
+    print_endline "\ndevices:";
+    List.iter
+      (fun d -> Printf.printf "  %s\n" d.Gecko.Devices.Device.model)
+      Gecko.Devices.Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and devices")
+    Term.(const run $ const ())
+
+(* --- compile ---------------------------------------------------------- *)
+
+let compile_cmd =
+  let disasm =
+    Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the linked image.")
+  in
+  let asm =
+    Arg.(
+      value & flag
+      & info [ "asm" ]
+          ~doc:
+            "Print the compiled program as .gasm (shows the inserted \
+             checkpoint stores and region boundaries).")
+  in
+  let run name scheme disasm asm =
+    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
+    Format.printf "%s as %s:@.  %a@.  static checkpoint stores: %d@."
+      name
+      (Compiler.Scheme.to_string scheme)
+      Compiler.Meta.pp_stats meta.Compiler.Meta.stats
+      (Compiler.Pipeline.checkpoint_store_count p);
+    if asm then print_string (Gecko.Isa.Asm.to_string p);
+    if disasm then print_string (Gecko.Isa.Link.disasm (Gecko.Isa.Link.link p))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a workload and show pipeline statistics")
+    Term.(const run $ workload_arg $ scheme_arg $ disasm $ asm)
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let seconds =
+    Arg.(value & opt float 1.0 & info [ "t"; "time" ] ~doc:"Simulated seconds.")
+  in
+  let attack_mhz =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "attack" ] ~docv:"MHZ" ~doc:"Transmit an EMI tone at this frequency.")
+  in
+  let outages =
+    Arg.(
+      value & flag
+      & info [ "outages" ] ~doc:"Power through a 1 Hz outage generator instead of a bench supply.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Print the first N power/runtime events of the run.")
+  in
+  let run name scheme seconds attack_mhz outages trace =
+    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
+    let image = Gecko.Isa.Link.link p in
+    let board =
+      if outages then
+        {
+          (Gecko.Board.attack_rig ()) with
+          Gecko.Board.harvester =
+            Gecko.Energy.Harvester.square_wave ~period:1.0 ~duty:0.5
+              (Gecko.Energy.Harvester.thevenin ~v_source:3.3 ~r_source:150.);
+        }
+      else Gecko.Board.attack_rig ()
+    in
+    let schedule =
+      match attack_mhz with
+      | Some f ->
+          Gecko.Emi.Schedule.always
+            (Gecko.Emi.Attack.remote ~distance_m:0.1
+               (Gecko.Emi.Signal.make ~freq_mhz:f ~power_dbm:20.))
+      | None -> Gecko.Emi.Schedule.empty
+    in
+    let o =
+      M.run ~board ~image ~meta
+        {
+          M.default_options with
+          schedule;
+          limit = M.Sim_time seconds;
+          restart_on_halt = true;
+          record_events = trace <> None;
+          max_sim_time = seconds +. 1.;
+        }
+    in
+    (match trace with
+    | Some n ->
+        List.iteri
+          (fun i e -> if i < n then Format.printf "%a@." M.pp_event e)
+          o.M.events
+    | None -> ());
+    Printf.printf
+      "%s as %s for %.2fs:\n  completions %d | reboots %d | JIT checkpoints %d \
+       (%d failed) | rollbacks %d\n  recovery blocks run %d | detections %d | \
+       re-enables %d | corrupt resumes %d\n  forward-progress rate %.2f%% | \
+       final mode %s\n"
+      name
+      (Compiler.Scheme.to_string scheme)
+      o.M.sim_time o.M.completions o.M.reboots o.M.jit_checkpoints
+      o.M.jit_checkpoint_failures o.M.rollbacks o.M.recovery_block_runs
+      o.M.detections o.M.reenables o.M.corruptions
+      (100. *. M.forward_progress o)
+      (Compiler.Policy.mode_to_string o.M.final_mode)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a workload on the simulated intermittent system")
+    Term.(
+      const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ outages
+      $ trace)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let names =
+    [ "fig4"; "fig5"; "fig7"; "fig8"; "fig9"; "table1"; "table2"; "fig11";
+      "fig12"; "fig13"; "fig14"; "fig15"; "table3"; "ablation";
+      "budget-sweep"; "detection-latency" ]
+  in
+  let which =
+    let doc =
+      Printf.sprintf "Artifact to regenerate: %s, or 'all'."
+        (String.concat ", " names)
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the full sweep grids (slow).")
+  in
+  let run which full =
+    let fidelity =
+      if full then Gecko.Experiments.Full else Gecko.Experiments.Quick
+    in
+    let artifacts = Gecko.Experiments.all fidelity in
+    let selected =
+      if which = "all" then artifacts
+      else List.filter (fun (n, _) -> n = which) artifacts
+    in
+    if selected = [] then begin
+      Printf.eprintf "unknown artifact %s\n" which;
+      exit 1
+    end;
+    List.iter
+      (fun (n, text) ->
+        Printf.printf "=== %s ===\n%s\n" n text;
+        flush stdout)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table or figure from the paper's evaluation")
+    Term.(const run $ which $ full)
+
+let () =
+  let info =
+    Cmd.info "gecko" ~version:"1.0.0"
+      ~doc:
+        "EMI attacks on JIT checkpointing and the GECKO defense, on a \
+         simulated intermittent system"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; experiment_cmd ]))

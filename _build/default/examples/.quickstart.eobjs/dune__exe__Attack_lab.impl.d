@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Array Float Gecko List Printf String Sys

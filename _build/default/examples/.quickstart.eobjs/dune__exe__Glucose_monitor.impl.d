@@ -1,0 +1,1 @@
+examples/glucose_monitor.ml: Array Gecko Instr Printf Reg

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cfg Format Gecko Instr Printf Reg

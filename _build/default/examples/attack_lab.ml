@@ -1,0 +1,89 @@
+(* Attack lab: characterize a device's EMI susceptibility the way the
+   paper's Section IV does — sweep the transmit frequency, find the
+   resonance, then demonstrate the two exploit outcomes (denial of
+   service and checkpoint corruption) on the stock JIT-checkpointing
+   firmware.
+
+     dune exec examples/attack_lab.exe -- [device-substring]            *)
+
+module M = Gecko.Machine
+module Device = Gecko.Devices.Device
+module Catalog = Gecko.Devices.Catalog
+
+let () =
+  let wanted = if Array.length Sys.argv > 1 then Sys.argv.(1) else "FR5994" in
+  let device =
+    match
+      List.find_opt
+        (fun d ->
+          let up s = String.uppercase_ascii s in
+          let needle = up wanted and hay = up d.Device.model in
+          let nl = String.length needle and hl = String.length hay in
+          let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+          scan 0)
+        Catalog.all
+    with
+    | Some d -> d
+    | None ->
+        Printf.eprintf "no device matching %S; try one of:\n" wanted;
+        List.iter (fun d -> Printf.eprintf "  %s\n" d.Device.model) Catalog.all;
+        exit 1
+  in
+  Printf.printf "Characterizing %s\n\n" device.Device.model;
+  let board = Gecko.Board.attack_rig ~device () in
+  (* Coarse frequency sweep. *)
+  let freqs = [ 1.; 5.; 10.; 16.; 20.; 24.; 27.; 30.; 35.; 45.; 60.; 100.; 300. ] in
+  print_endline "frequency sweep (20 dBm, reference distance):";
+  let gain f =
+    Gecko.Emi.Coupling.gain device.Device.adc_profile ~freq_hz:(f *. 1e6)
+  in
+  let best = ref (0., 1.) in
+  List.iter
+    (fun f ->
+      let attack =
+        Gecko.Emi.Attack.remote ~distance_m:0.1
+          (Gecko.Emi.Signal.make ~freq_mhz:f ~power_dbm:20.)
+      in
+      let r =
+        Gecko.Workbench.progress_rate ~board ~attack:(Some attack)
+          ~duration:0.05
+      in
+      if r < snd !best -. 0.001 || (Float.abs (r -. snd !best) <= 0.001 && gain f > gain (fst !best))
+      then best := (f, r);
+      let bar = String.make (int_of_float (r *. 40.)) '#' in
+      Printf.printf "  %6.1f MHz  %-40s %5.1f%%\n" f bar (100. *. r))
+    freqs;
+  let f0, rmin = !best in
+  Printf.printf "\nresonance near %.0f MHz (forward progress collapses to %.1f%%)\n"
+    f0 (100. *. rmin);
+  (* Exploit demo: checkpoint corruption under outage-prone power. *)
+  let harvester =
+    Gecko.Energy.Harvester.square_wave ~period:0.08 ~duty:0.2
+      (Gecko.Energy.Harvester.thevenin ~v_source:3.3 ~r_source:150.)
+  in
+  let board = { board with Gecko.Board.harvester } in
+  let image, meta =
+    let p, meta =
+      Gecko.Compiler.Pipeline.compile Gecko.Compiler.Scheme.Nvp
+        (Gecko.Workbench.sense_app ())
+    in
+    (Gecko.Isa.Link.link p, meta)
+  in
+  let o =
+    M.run ~board ~image ~meta
+      {
+        M.default_options with
+        schedule =
+          Gecko.Emi.Schedule.always
+            (Gecko.Emi.Attack.remote ~distance_m:0.1
+               (Gecko.Emi.Signal.make ~freq_mhz:f0 ~power_dbm:20.));
+        limit = M.Sim_time 1.5;
+        restart_on_halt = true;
+        max_sim_time = 2.;
+      }
+  in
+  Printf.printf
+    "exploit at %.0f MHz with outage-prone supply: %d checkpoints, %d cut \
+     short, %d corrupt resumes\n(checkpoint failure rate F = %.1f%%)\n" f0
+    o.M.jit_checkpoints o.M.jit_checkpoint_failures o.M.corruptions
+    (100. *. M.checkpoint_failure_rate o)

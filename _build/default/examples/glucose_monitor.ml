@@ -1,0 +1,118 @@
+(* A continuous glucose monitor — the paper's motivating wearable
+   (Section III).  The device harvests ambient energy, periodically
+   samples a glucose sensor, smooths the readings and raises an alarm
+   over the radio when they cross a threshold.
+
+   The example stages an EMI attack against the device and compares the
+   stock JIT-checkpointing firmware (NVP) with the GECKO-compiled one:
+   the attacker parks a 27 MHz transmitter nearby for a while, and the
+   patient keeps (or loses) their monitoring.
+
+     dune exec examples/glucose_monitor.exe *)
+
+module Isa = Gecko.Isa
+module B = Isa.Builder
+module Compiler = Gecko.Compiler
+module M = Gecko.Machine
+open Isa
+
+let threshold = 700
+
+(* One monitoring round: sample 8 readings, moving-average them, store
+   the trend and raise the alarm port if the average exceeds the
+   threshold. *)
+let cgm_app () =
+  let b = B.program "cgm" in
+  let trend = B.space b "trend" ~words:8 () in
+  let alarms = B.space b "alarms" ~words:1 () in
+  B.func b "main";
+  B.block b "entry";
+  B.li b Reg.r0 0;
+  (* round *)
+  B.block b "round" ~loop_bound:8;
+  B.li b Reg.r1 0;
+  (* acc over 4 samples *)
+  for _ = 1 to 4 do
+    B.io_in b Reg.r2 0;
+    B.bin b Instr.And Reg.r2 Reg.r2 (B.imm 1023);
+    B.add b Reg.r1 Reg.r1 (B.reg Reg.r2)
+  done;
+  B.bin b Instr.Shr Reg.r1 Reg.r1 (B.imm 2);
+  B.st b (B.idx trend Reg.r0) Reg.r1;
+  (* Alarm when the smoothed reading crosses the threshold. *)
+  B.bin b Instr.Slt Reg.r3 Reg.r1 (B.imm threshold);
+  B.br b Instr.Nz Reg.r3 "next" "alarm";
+  B.block b "alarm";
+  B.io_out b 7 Reg.r1;
+  B.ld b Reg.r4 (B.at alarms 0);
+  B.add b Reg.r4 Reg.r4 (B.imm 1);
+  B.st b (B.at alarms 0) Reg.r4;
+  B.block b "next";
+  B.add b Reg.r0 Reg.r0 (B.imm 1);
+  B.bin b Instr.Slt Reg.r3 Reg.r0 (B.imm 8);
+  B.br b Instr.Nz Reg.r3 "round" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b
+
+let body_harvester =
+  (* Blood-pressure/motion harvesting: weak and fluctuating. *)
+  Gecko.Energy.Harvester.rf_ambient ~seed:5 ~mean_power:3.2e-3 ~flicker:0.6
+
+let run scheme ~attacked =
+  let p, meta = Compiler.Pipeline.compile scheme (cgm_app ()) in
+  let image = Isa.Link.link p in
+  let board =
+    { (Gecko.Board.attack_rig ~device:Gecko.Devices.Catalog.msp430fr5994 ()) with
+      Gecko.Board.harvester = body_harvester }
+  in
+  let schedule =
+    if attacked then
+      (* The attacker switches a transmitter on for the middle third. *)
+      Gecko.Emi.Schedule.make
+        [
+          Gecko.Emi.Schedule.window ~t_start:1.0 ~t_end:2.0
+            (Gecko.Emi.Attack.remote ~distance_m:0.5
+               (Gecko.Emi.Signal.make ~freq_mhz:27. ~power_dbm:35.));
+        ]
+    else Gecko.Emi.Schedule.empty
+  in
+  M.run ~board ~image ~meta
+    {
+      M.default_options with
+      schedule;
+      limit = M.Sim_time 3.0;
+      restart_on_halt = true;
+      timeline_bucket = Some 1.0;
+      max_sim_time = 4.0;
+    }
+
+let describe name (o : M.outcome) =
+  let during_attack =
+    match o.M.timeline with
+    | Some tl when Array.length tl.M.completions_per_bucket > 1 ->
+        tl.M.completions_per_bucket.(1)
+    | Some _ | None -> 0
+  in
+  Printf.printf
+    "  %-22s rounds total: %6d   during t=1..2s: %6d   detections: %d\n"
+    name o.M.completions during_attack o.M.detections
+
+let () =
+  print_endline "Continuous glucose monitor under a parked EMI transmitter";
+  print_endline "----------------------------------------------------------";
+  print_endline "no attack:";
+  describe "NVP (stock CTPL)" (run Compiler.Scheme.Nvp ~attacked:false);
+  describe "GECKO" (run Compiler.Scheme.Gecko ~attacked:false);
+  print_endline "attacker transmits at 27 MHz during t = 1..2 s:";
+  let nvp = run Compiler.Scheme.Nvp ~attacked:true in
+  let gecko = run Compiler.Scheme.Gecko ~attacked:true in
+  describe "NVP (stock CTPL)" nvp;
+  describe "GECKO" gecko;
+  Printf.printf
+    "\nDuring the attack the stock device stops monitoring (DoS) and may \
+     resume from corrupt state;\nGECKO detects the interference (%d \
+     detections), closes the voltage-monitor attack surface,\nswitches to \
+     idempotent rollback and keeps monitoring — then re-enables JIT \
+     checkpointing (%d re-enables).\n"
+    gecko.M.detections gecko.M.reenables

@@ -1,0 +1,49 @@
+(* A batteryless wireless sensor node on a Powercast-style RF harvester:
+   it wakes when the capacitor fills, samples, aggregates, transmits a
+   beacon, and dies until the next charge.  The example compares all four
+   recovery schemes over one minute of harvesting and shows the charge /
+   compute duty cycling that defines intermittent computing.
+
+     dune exec examples/sensor_node.exe *)
+
+module Compiler = Gecko.Compiler
+module M = Gecko.Machine
+
+let rf_field =
+  (* 915 MHz RF field several meters from the transmitter, with fading. *)
+  Gecko.Energy.Harvester.rf_ambient ~seed:17 ~mean_power:1.2e-3 ~flicker:0.7
+
+let () =
+  print_endline "Batteryless sensor node, one simulated minute of RF harvesting";
+  print_endline "---------------------------------------------------------------";
+  let prog = Gecko.Workbench.sense_app () in
+  Printf.printf "%-22s %10s %9s %9s %11s %9s\n" "scheme" "beacons" "reboots"
+    "rollbks" "ckpts(JIT)" "on-time";
+  List.iter
+    (fun scheme ->
+      let p, meta = Compiler.Pipeline.compile scheme prog in
+      let image = Gecko.Isa.Link.link p in
+      let board =
+        { (Gecko.Board.default ~harvester:rf_field ()) with
+          Gecko.Board.capacitance = 100e-6 }
+      in
+      let o =
+        M.run ~board ~image ~meta
+          {
+            M.default_options with
+            limit = M.Sim_time 60.;
+            restart_on_halt = true;
+            start_charged = false;
+            max_sim_time = 61.;
+          }
+      in
+      Printf.printf "%-22s %10d %9d %9d %11d %8.1f%%\n"
+        (Compiler.Scheme.to_string scheme)
+        o.M.completions o.M.reboots o.M.rollbacks o.M.jit_checkpoints
+        (100. *. (o.M.app_seconds +. 0.0) /. o.M.sim_time))
+    Compiler.Scheme.all;
+  print_endline
+    "\nEvery scheme survives the outage train; they differ in how much of \
+     the harvested\nenergy reaches useful work: NVP is the upper bound, \
+     Ratchet pays full rollback\ninstrumentation, and GECKO sits in between \
+     while staying immune to EMI attacks\non the voltage monitor."

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Cfg Gecko_isa Instr

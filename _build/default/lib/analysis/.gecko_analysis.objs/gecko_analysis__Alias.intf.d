@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Cfg Gecko_isa Instr

@@ -1,0 +1,1 @@
+lib/analysis/blockreach.ml: Array Fgraph List Queue

@@ -1,0 +1,1 @@
+lib/analysis/blockreach.mli: Fgraph

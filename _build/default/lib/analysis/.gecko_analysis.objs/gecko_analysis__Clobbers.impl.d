@@ -1,0 +1,1 @@
+lib/analysis/clobbers.ml: Cfg Gecko_isa Hashtbl Instr List Reg

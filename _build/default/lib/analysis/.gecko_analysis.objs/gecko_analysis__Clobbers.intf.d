@@ -1,0 +1,1 @@
+lib/analysis/clobbers.mli: Cfg Gecko_isa Reg

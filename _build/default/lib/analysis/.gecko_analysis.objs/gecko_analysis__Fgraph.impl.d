@@ -1,0 +1,1 @@
+lib/analysis/fgraph.ml: Array Cfg Format Gecko_isa Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/analysis/fgraph.mli: Cfg Format Gecko_isa Hashtbl Instr

@@ -1,0 +1,1 @@
+lib/analysis/ipliveness.ml: Array Cfg Fgraph Gecko_isa Hashtbl Instr List Printf Reg

@@ -1,0 +1,1 @@
+lib/analysis/ipliveness.mli: Cfg Fgraph Gecko_isa Reg

@@ -1,0 +1,1 @@
+lib/analysis/live.ml: Array Cfg Fgraph Gecko_isa Instr List Reg

@@ -1,0 +1,1 @@
+lib/analysis/live.mli: Fgraph Gecko_isa Reg

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Dom Fgraph Hashtbl Int List Set

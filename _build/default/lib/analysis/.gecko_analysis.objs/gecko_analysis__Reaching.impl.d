@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Cfg Fgraph Gecko_isa Hashtbl Instr Int List Reg Set

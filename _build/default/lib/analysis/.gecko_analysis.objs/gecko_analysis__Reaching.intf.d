@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Fgraph Gecko_isa Reg

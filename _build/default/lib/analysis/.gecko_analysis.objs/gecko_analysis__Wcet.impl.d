@@ -1,0 +1,1 @@
+lib/analysis/wcet.ml: Array Cfg Cost Fgraph Format Gecko_isa Hashtbl Instr List

@@ -1,0 +1,25 @@
+open Gecko_isa
+
+let may_alias (a : Instr.mref) (b : Instr.mref) =
+  a.Instr.space.Instr.space_id = b.Instr.space.Instr.space_id
+  &&
+  match (a.Instr.disp, b.Instr.disp) with
+  | Instr.Dconst x, Instr.Dconst y -> x = y
+  | Instr.Dreg _, _ | _, Instr.Dreg _ -> true
+
+let space_written p (s : Instr.space) =
+  let found = ref false in
+  Cfg.iter_instrs p (fun i ->
+      match Instr.mem_write i with
+      | Some m when m.Instr.space.Instr.space_id = s.Instr.space_id ->
+          found := true
+      | Some _ | None -> ());
+  !found
+
+let location_read_only p (m : Instr.mref) =
+  let clobbered = ref false in
+  Cfg.iter_instrs p (fun i ->
+      match Instr.mem_write i with
+      | Some w when may_alias w m -> clobbered := true
+      | Some _ | None -> ());
+  not !clobbered

@@ -1,0 +1,19 @@
+(** Alias analysis over symbolic memory references.
+
+    Every reference names its allocation (space); two references may alias
+    iff they address the same space and their displacements can coincide.
+    Distinct spaces are distinct allocations by construction, so the
+    analysis is sound and — for builder-written MCU kernels — precise
+    enough to expose the WAR/WARAW structure region formation needs. *)
+
+open Gecko_isa
+
+val may_alias : Instr.mref -> Instr.mref -> bool
+
+val space_written : Cfg.program -> Instr.space -> bool
+(** Does any store in the program target the space? *)
+
+val location_read_only : Cfg.program -> Instr.mref -> bool
+(** No store in the program can write this location: for a constant
+    displacement, no aliasing store exists; for a dynamic displacement the
+    whole space must be store-free.  Recovery-block loads require this. *)

@@ -1,0 +1,20 @@
+type t = bool array array
+
+let compute (g : Fgraph.t) =
+  let n = Fgraph.n_blocks g in
+  let m = Array.make_matrix n n false in
+  for src = 0 to n - 1 do
+    (* BFS from the successors of [src]. *)
+    let q = Queue.create () in
+    List.iter (fun s -> Queue.add s q) g.Fgraph.succ.(src);
+    while not (Queue.is_empty q) do
+      let b = Queue.take q in
+      if not m.(src).(b) then begin
+        m.(src).(b) <- true;
+        List.iter (fun s -> Queue.add s q) g.Fgraph.succ.(b)
+      end
+    done
+  done;
+  m
+
+let reaches t a b = t.(a).(b)

@@ -1,0 +1,10 @@
+(** Intra-function block reachability (transitive closure over successor
+    edges; call terminators flow to their return blocks). *)
+
+type t
+
+val compute : Fgraph.t -> t
+
+val reaches : t -> int -> int -> bool
+(** [reaches t a b] — can control flow from block [a] to block [b]
+    (irreflexive unless a cycle passes through [a])? *)

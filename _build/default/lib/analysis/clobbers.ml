@@ -1,0 +1,50 @@
+open Gecko_isa
+
+type t = (string, Reg.Set.t) Hashtbl.t
+
+let direct_defs (f : Cfg.func) =
+  List.fold_left
+    (fun acc (b : Cfg.block) ->
+      List.fold_left
+        (fun acc i -> Reg.Set.union acc (Instr.defs i))
+        acc b.Cfg.instrs)
+    Reg.Set.empty f.Cfg.blocks
+
+let callees (f : Cfg.func) =
+  List.filter_map
+    (fun (b : Cfg.block) ->
+      match b.Cfg.term with
+      | Instr.Call (callee, _) -> Some callee
+      | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> None)
+    f.Cfg.blocks
+
+let compute (p : Cfg.program) =
+  let t : t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      Hashtbl.replace t f.Cfg.fname
+        (Reg.Set.remove Reg.sp (direct_defs f)))
+    p.Cfg.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Cfg.func) ->
+        let cur = try Hashtbl.find t f.Cfg.fname with Not_found -> Reg.Set.empty in
+        let merged =
+          List.fold_left
+            (fun acc c ->
+              Reg.Set.union acc
+                (try Hashtbl.find t c with Not_found -> Reg.Set.empty))
+            cur (callees f)
+        in
+        if not (Reg.Set.equal merged cur) then begin
+          Hashtbl.replace t f.Cfg.fname merged;
+          changed := true
+        end)
+      p.Cfg.funcs
+  done;
+  t
+
+let of_function t name =
+  try Hashtbl.find t name with Not_found -> Reg.Set.empty

@@ -1,0 +1,18 @@
+(** Register clobber summaries: the registers a function (transitively,
+    through its callees) may define.  Used to treat call sites as
+    definition points in the reaching-definitions analysis — without
+    this, checkpoint pruning could wrongly assume a register is unchanged
+    across a call that overwrites it.
+
+    The stack pointer is excluded: call/return pairs are balanced, so
+    from the caller's perspective SP is preserved. *)
+
+open Gecko_isa
+
+type t
+
+val compute : Cfg.program -> t
+
+val of_function : t -> string -> Reg.Set.t
+(** Registers possibly defined by calling the function (empty set for
+    unknown names). *)

@@ -1,0 +1,59 @@
+type t = { idom : int array; order : int array (* rpo position per block *) }
+
+let compute (g : Fgraph.t) =
+  let n = Fgraph.n_blocks g in
+  let rpo = Fgraph.rpo g in
+  let order = Array.make n max_int in
+  Array.iteri (fun pos b -> order.(b) <- pos) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := idom.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let preds = List.filter (fun p -> idom.(p) >= 0) g.Fgraph.pred.(b) in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  (* Unreachable blocks dominate only themselves. *)
+  Array.iteri (fun b d -> if d < 0 then idom.(b) <- b) idom;
+  { idom; order }
+
+let idom t b = t.idom.(b)
+
+let dominates t a b =
+  if a = b then true
+  else
+    let rec climb x =
+      if x = a then true
+      else
+        let up = t.idom.(x) in
+        if up = x then false else climb up
+    in
+    climb b
+
+let dominates_point t (a : Fgraph.point) (b : Fgraph.point) =
+  if a.Fgraph.blk = b.Fgraph.blk then a.Fgraph.idx < b.Fgraph.idx
+  else dominates t a.Fgraph.blk b.Fgraph.blk

@@ -1,0 +1,17 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t
+
+val compute : Fgraph.t -> t
+
+val idom : t -> int -> int
+(** Immediate dominator of a block id; the entry's idom is itself.
+    Unreachable blocks report themselves. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does block [a] dominate block [b]?  Reflexive. *)
+
+val dominates_point : t -> Fgraph.point -> Fgraph.point -> bool
+(** Point-level domination: strictly earlier in the same block, or the
+    block dominates (for distinct blocks).  [dominates_point t a b] means
+    an execution reaching [b] has passed [a]. *)

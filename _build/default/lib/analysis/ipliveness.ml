@@ -1,0 +1,149 @@
+open Gecko_isa
+
+type finfo = {
+  g : Fgraph.t;
+  mutable live_in : Reg.Set.t array;
+  mutable live_out : Reg.Set.t array;
+}
+
+type t = {
+  infos : (string, finfo) Hashtbl.t;
+  entry_live : (string, Reg.Set.t) Hashtbl.t;
+  ret_uses : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let lookup tbl key =
+  try Hashtbl.find tbl key with Not_found -> Reg.Set.empty
+
+let term_uses t ~fname term =
+  match term with
+  | Instr.Call (callee, _) ->
+      (* The stack pointer is implicitly read by the push. *)
+      Reg.Set.add Reg.sp (lookup t.entry_live callee)
+  | Instr.Ret -> Reg.Set.add Reg.sp (lookup t.ret_uses fname)
+  | Instr.Jmp _ | Instr.Br _ | Instr.Halt -> Instr.term_uses term
+
+let block_transfer t ~fname (b : Cfg.block) out =
+  let after_term = Reg.Set.union out (term_uses t ~fname b.Cfg.term) in
+  List.fold_right
+    (fun i live ->
+      Reg.Set.union (Instr.uses i) (Reg.Set.diff live (Instr.defs i)))
+    b.Cfg.instrs after_term
+
+(* One round of per-function dataflow; returns whether anything changed. *)
+let flow_function t fname (fi : finfo) =
+  let n = Fgraph.n_blocks fi.g in
+  let changed = ref false in
+  let pass () =
+    let inner = ref true in
+    while !inner do
+      inner := false;
+      for b = n - 1 downto 0 do
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc fi.live_in.(s))
+            Reg.Set.empty fi.g.Fgraph.succ.(b)
+        in
+        let inn = block_transfer t ~fname fi.g.Fgraph.blocks.(b) out in
+        if not (Reg.Set.equal out fi.live_out.(b)) then begin
+          fi.live_out.(b) <- out;
+          inner := true;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn fi.live_in.(b)) then begin
+          fi.live_in.(b) <- inn;
+          inner := true;
+          changed := true
+        end
+      done
+    done
+  in
+  pass ();
+  !changed
+
+let compute (p : Cfg.program) =
+  let t =
+    {
+      infos = Hashtbl.create 8;
+      entry_live = Hashtbl.create 8;
+      ret_uses = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let g = Fgraph.of_func f in
+      let n = Fgraph.n_blocks g in
+      Hashtbl.replace t.infos f.Cfg.fname
+        {
+          g;
+          live_in = Array.make n Reg.Set.empty;
+          live_out = Array.make n Reg.Set.empty;
+        })
+    p.Cfg.funcs;
+  let stable = ref false in
+  let rounds = ref 0 in
+  while (not !stable) && !rounds < 64 do
+    incr rounds;
+    stable := true;
+    (* Per-function flow with the current summaries. *)
+    Hashtbl.iter
+      (fun fname fi -> if flow_function t fname fi then stable := false)
+      t.infos;
+    (* Refresh summaries. *)
+    Hashtbl.iter
+      (fun fname (fi : finfo) ->
+        let e = if Fgraph.n_blocks fi.g > 0 then fi.live_in.(0) else Reg.Set.empty in
+        if not (Reg.Set.equal e (lookup t.entry_live fname)) then begin
+          Hashtbl.replace t.entry_live fname e;
+          stable := false
+        end)
+      t.infos;
+    List.iter
+      (fun (f : Cfg.func) ->
+        let caller = Hashtbl.find t.infos f.Cfg.fname in
+        List.iteri
+          (fun bi (b : Cfg.block) ->
+            ignore bi;
+            match b.Cfg.term with
+            | Instr.Call (callee, ret) ->
+                let ret_blk = Fgraph.block_id caller.g ret in
+                let live_ret = caller.live_in.(ret_blk) in
+                let old = lookup t.ret_uses callee in
+                let merged = Reg.Set.union old live_ret in
+                if not (Reg.Set.equal merged old) then begin
+                  Hashtbl.replace t.ret_uses callee merged;
+                  stable := false
+                end
+            | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> ())
+          f.Cfg.blocks)
+      p.Cfg.funcs
+  done;
+  t
+
+let find t fname =
+  match Hashtbl.find_opt t.infos fname with
+  | Some fi -> fi
+  | None -> invalid_arg (Printf.sprintf "Ipliveness: unknown function %s" fname)
+
+let live_at t ~fname (p : Fgraph.point) =
+  let fi = find t fname in
+  let b = fi.g.Fgraph.blocks.(p.Fgraph.blk) in
+  let after_term =
+    Reg.Set.union fi.live_out.(p.Fgraph.blk) (term_uses t ~fname b.Cfg.term)
+  in
+  let nb = List.length b.Cfg.instrs in
+  let rec walk i live rev_instrs =
+    if i < p.Fgraph.idx then live
+    else
+      match rev_instrs with
+      | [] -> live
+      | instr :: rest ->
+          let live' =
+            Reg.Set.union (Instr.uses instr)
+              (Reg.Set.diff live (Instr.defs instr))
+          in
+          walk (i - 1) live' rest
+  in
+  walk (nb - 1) after_term (List.rev b.Cfg.instrs)
+
+let graph t ~fname = (find t fname).g

@@ -1,0 +1,23 @@
+(** Inter-procedural register liveness (context-insensitive).
+
+    Per-function liveness is computed with call summaries and iterated to
+    a fixpoint:
+
+    - a [Call f] terminator uses the live-in set of [f]'s entry;
+    - a [Ret] in [f] uses the union, over [f]'s call sites, of the live
+      set at the corresponding return-block entry;
+    - calls kill nothing (sound over-approximation of liveness).
+
+    This determines the checkpoint candidate sets at call-related region
+    boundaries — far smaller than the all-registers fallback. *)
+
+open Gecko_isa
+
+type t
+
+val compute : Cfg.program -> t
+
+val live_at : t -> fname:string -> Fgraph.point -> Reg.Set.t
+(** Registers live immediately before the instruction at the point. *)
+
+val graph : t -> fname:string -> Fgraph.t

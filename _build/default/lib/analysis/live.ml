@@ -1,0 +1,66 @@
+open Gecko_isa
+
+type t = { g : Fgraph.t; live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+let all_regs = Reg.Set.of_list Reg.all
+
+let term_uses = function
+  | Instr.Call _ | Instr.Ret -> all_regs
+  | term -> Instr.term_uses term
+
+let block_transfer (b : Cfg.block) out =
+  let after_term = Reg.Set.union out (term_uses b.Cfg.term) in
+  List.fold_right
+    (fun i live ->
+      Reg.Set.union (Instr.uses i) (Reg.Set.diff live (Instr.defs i)))
+    b.Cfg.instrs after_term
+
+let compute (g : Fgraph.t) =
+  let n = Fgraph.n_blocks g in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc live_in.(s))
+          Reg.Set.empty g.Fgraph.succ.(b)
+      in
+      let inn = block_transfer g.Fgraph.blocks.(b) out in
+      if not (Reg.Set.equal out live_out.(b)) then begin
+        live_out.(b) <- out;
+        changed := true
+      end;
+      if not (Reg.Set.equal inn live_in.(b)) then begin
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { g; live_in; live_out }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)
+
+let live_at t (p : Fgraph.point) =
+  let b = t.g.Fgraph.blocks.(p.Fgraph.blk) in
+  let instrs = b.Cfg.instrs in
+  let nb = List.length instrs in
+  (* Walk backwards from the terminator to the point. *)
+  let after_term =
+    Reg.Set.union t.live_out.(p.Fgraph.blk) (term_uses b.Cfg.term)
+  in
+  let rec walk i live rev_instrs =
+    if i < p.Fgraph.idx then live
+    else
+      match rev_instrs with
+      | [] -> live
+      | instr :: rest ->
+          let live' =
+            Reg.Set.union (Instr.uses instr) (Reg.Set.diff live (Instr.defs instr))
+          in
+          walk (i - 1) live' rest
+  in
+  walk (nb - 1) after_term (List.rev instrs)

@@ -1,0 +1,19 @@
+(** Register liveness (backward dataflow).
+
+    [Call] and [Ret] terminators conservatively use every register: the
+    analysis is intra-procedural (Section VI-B treats calls as separate
+    regions), so anything can be needed across the boundary.  This only
+    inflates the checkpoint set at call-related boundaries — sound. *)
+
+open Gecko_isa
+
+type t
+
+val compute : Fgraph.t -> t
+
+val live_in : t -> int -> Reg.Set.t
+val live_out : t -> int -> Reg.Set.t
+
+val live_at : t -> Fgraph.point -> Reg.Set.t
+(** Registers live immediately {e before} the instruction at the point
+    (at the terminator position for [idx = length instrs]). *)

@@ -1,0 +1,120 @@
+open Gecko_isa
+module Iset = Set.Make (Int)
+
+type def = Entry | Site of Fgraph.point
+
+type t = {
+  g : Fgraph.t;
+  site_of_id : (int, Fgraph.point) Hashtbl.t;
+  id_of_site : (int * int, int) Hashtbl.t;
+  in_sets : Iset.t array array; (* block -> reg -> ids *)
+}
+
+let def_equal a b =
+  match (a, b) with
+  | Entry, Entry -> true
+  | Site p, Site q -> Fgraph.point_compare p q = 0
+  | Entry, Site _ | Site _, Entry -> false
+
+(* Ids 0..15 are the entry pseudo-definitions of r0..r15. *)
+let entry_id r = Reg.to_int r
+
+let all_regs = Reg.Set.of_list Reg.all
+
+let compute ?(call_defs = fun _ -> all_regs) (g : Fgraph.t) =
+  let n = Fgraph.n_blocks g in
+  let site_of_id = Hashtbl.create 64 in
+  let id_of_site = Hashtbl.create 64 in
+  let next = ref Reg.count in
+  let new_site bi idx =
+    let id = !next in
+    incr next;
+    Hashtbl.replace site_of_id id { Fgraph.blk = bi; idx };
+    Hashtbl.replace id_of_site (bi, idx) id;
+    id
+  in
+  (* Registers defined at each (block, idx), where idx = instruction count
+     denotes the terminator (call-clobber defs). *)
+  let defs_at bi (b : Cfg.block) =
+    let xs =
+      List.mapi (fun idx i -> (idx, Instr.defs i)) b.Cfg.instrs
+    in
+    let term_defs =
+      match b.Cfg.term with
+      | Instr.Call (callee, _) -> call_defs callee
+      | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> Reg.Set.empty
+    in
+    ignore bi;
+    if Reg.Set.is_empty term_defs then xs
+    else xs @ [ (List.length b.Cfg.instrs, term_defs) ]
+  in
+  (* Allocate def-site ids and per-block gen (last def id per reg). *)
+  let gen = Array.make_matrix n Reg.count None in
+  Array.iteri
+    (fun bi (b : Cfg.block) ->
+      List.iter
+        (fun (idx, ds) ->
+          if not (Reg.Set.is_empty ds) then begin
+            let id = new_site bi idx in
+            Reg.Set.iter (fun r -> gen.(bi).(Reg.to_int r) <- Some id) ds
+          end)
+        (defs_at bi b))
+    g.Fgraph.blocks;
+  let in_sets = Array.init n (fun _ -> Array.make Reg.count Iset.empty) in
+  let out_sets = Array.init n (fun _ -> Array.make Reg.count Iset.empty) in
+  if n > 0 then
+    List.iter
+      (fun r -> in_sets.(0).(Reg.to_int r) <- Iset.singleton (entry_id r))
+      Reg.all;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      for ri = 0 to Reg.count - 1 do
+        let inn =
+          List.fold_left
+            (fun acc p -> Iset.union acc out_sets.(p).(ri))
+            (if b = 0 then Iset.singleton ri else Iset.empty)
+            g.Fgraph.pred.(b)
+        in
+        if not (Iset.equal inn in_sets.(b).(ri)) then begin
+          in_sets.(b).(ri) <- inn;
+          changed := true
+        end;
+        let out =
+          match gen.(b).(ri) with Some id -> Iset.singleton id | None -> inn
+        in
+        if not (Iset.equal out out_sets.(b).(ri)) then begin
+          out_sets.(b).(ri) <- out;
+          changed := true
+        end
+      done
+    done
+  done;
+  { g; site_of_id; id_of_site; in_sets }
+
+let ids_at t r (p : Fgraph.point) =
+  let ri = Reg.to_int r in
+  let b = t.g.Fgraph.blocks.(p.Fgraph.blk) in
+  (* Scan the block prefix for the latest def before the point.  A
+     call-clobber def sits at the terminator position and thus never
+     precedes an in-block point. *)
+  let last = ref None in
+  List.iteri
+    (fun idx i ->
+      if idx < p.Fgraph.idx && Reg.Set.mem r (Instr.defs i) then
+        last := Some (Hashtbl.find t.id_of_site (p.Fgraph.blk, idx)))
+    b.Cfg.instrs;
+  match !last with
+  | Some id -> Iset.singleton id
+  | None -> t.in_sets.(p.Fgraph.blk).(ri)
+
+let def_of_id t id =
+  if id < Reg.count then Entry else Site (Hashtbl.find t.site_of_id id)
+
+let reaching_at t r p = List.map (def_of_id t) (Iset.elements (ids_at t r p))
+
+let unique_at t r p =
+  match Iset.elements (ids_at t r p) with
+  | [ id ] -> Some (def_of_id t id)
+  | _ -> None

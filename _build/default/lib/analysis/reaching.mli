@@ -1,0 +1,30 @@
+(** Reaching definitions at instruction granularity.
+
+    Used by checkpoint pruning: a live-in register of a region is a
+    pruning candidate only when a {e unique} definition reaches the region
+    boundary, and the recovery-block slice requires that each source
+    operand has the same unique reaching definition at the definition site
+    and at the boundary (value preservation across the gap). *)
+
+open Gecko_isa
+
+type def =
+  | Entry  (** The register's value at function entry. *)
+  | Site of Fgraph.point
+
+type t
+
+val compute : ?call_defs:(string -> Reg.Set.t) -> Fgraph.t -> t
+(** [call_defs callee] — registers a call to [callee] may define; a call
+    terminator then acts as a definition site for each of them (at the
+    terminator position, so it can never be re-executed by a slice).
+    Defaults to "all registers", the sound fallback. *)
+
+val reaching_at : t -> Reg.t -> Fgraph.point -> def list
+(** All definitions of the register that may reach the program point
+    (the point denotes "immediately before the instruction at idx"). *)
+
+val unique_at : t -> Reg.t -> Fgraph.point -> def option
+(** [Some d] iff exactly one definition reaches. *)
+
+val def_equal : def -> def -> bool

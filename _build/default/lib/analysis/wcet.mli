@@ -1,0 +1,34 @@
+(** Worst-case execution time of region spans.
+
+    A {e span} is the code executed between two dynamic region-boundary
+    crossings.  Because region formation places a boundary at every loop
+    header (and at calls/returns), the boundary-free subgraph is acyclic
+    and the longest span is well defined; {!Unbounded} is raised if a
+    boundary-free cycle remains (i.e. region formation was skipped or
+    buggy).
+
+    The compiler compares each span against the cycles a fully charged
+    capacitor can sustain (the "minimum time bound of the power-on
+    period", Section VI-B) and splits oversized regions. *)
+
+exception Unbounded of string
+
+type t
+
+val compute : Fgraph.t -> t
+(** May raise {!Unbounded}. *)
+
+val from_point : t -> Fgraph.point -> int
+(** Worst-case cycles from the point (inclusive) up to and including the
+    next boundary commit (or program exit). *)
+
+val boundary_spans : t -> (int * Fgraph.point * int) list
+(** For each [Boundary id] instruction: [(id, its point, worst-case span
+    of the region it opens)]. *)
+
+val entry_span : t -> int
+(** Worst-case cycles from function entry to the first boundary commit. *)
+
+val worst_successor : t -> Fgraph.point -> Fgraph.point option
+(** The next point along the worst-case path, if the span continues (used
+    by the splitting pass to find where to cut). *)

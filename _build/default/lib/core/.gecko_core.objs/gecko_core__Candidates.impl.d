@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Array Cfg Gecko_analysis Gecko_isa Instr List Reg

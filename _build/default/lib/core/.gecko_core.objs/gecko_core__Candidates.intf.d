@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Cfg Gecko_analysis Gecko_isa Reg

@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Candidates Cfg Gecko_analysis Gecko_isa Hashtbl Instr List Printf Prune Queue Reg Spans String Sys Valueflow

@@ -1,0 +1,1 @@
+lib/core/coloring.mli: Candidates Cfg Gecko_isa Prune Reg

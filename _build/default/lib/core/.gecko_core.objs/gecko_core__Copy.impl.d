@@ -1,0 +1,1 @@
+lib/core/copy.ml: Cfg Gecko_isa List

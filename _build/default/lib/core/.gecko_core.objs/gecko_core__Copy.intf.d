@@ -1,0 +1,1 @@
+lib/core/copy.mli: Gecko_isa

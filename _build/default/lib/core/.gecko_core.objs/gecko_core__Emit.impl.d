@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array Candidates Cfg Coloring Gecko_isa Hashtbl Instr List Meta Prune Reg Scheme

@@ -1,0 +1,1 @@
+lib/core/emit.mli: Candidates Cfg Coloring Gecko_isa Meta Prune Scheme

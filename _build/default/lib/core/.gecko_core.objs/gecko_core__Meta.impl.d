@@ -1,0 +1,1 @@
+lib/core/meta.ml: Format Gecko_isa Hashtbl Instr Reg Scheme

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cfg Coloring Copy Cost Emit Gecko_isa Instr Meta Printf Prune Reg Regions Scheme Split String Verify

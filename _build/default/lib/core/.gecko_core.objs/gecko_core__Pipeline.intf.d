@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cfg Gecko_isa Meta Scheme

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Candidates Cfg Gecko_analysis Gecko_isa Hashtbl Instr List Reg

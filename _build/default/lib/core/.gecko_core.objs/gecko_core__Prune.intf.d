@@ -1,0 +1,1 @@
+lib/core/prune.mli: Candidates Cfg Gecko_isa Hashtbl Instr Reg

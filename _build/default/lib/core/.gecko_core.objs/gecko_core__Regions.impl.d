@@ -1,0 +1,1 @@
+lib/core/regions.ml: Array Cfg Format Gecko_analysis Gecko_isa Instr List Reg

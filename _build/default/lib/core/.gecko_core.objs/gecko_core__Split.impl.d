@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Cfg Cost Gecko_analysis Gecko_isa Instr List Printf

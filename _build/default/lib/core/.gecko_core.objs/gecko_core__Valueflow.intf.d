@@ -1,0 +1,1 @@
+lib/core/valueflow.mli: Candidates Cfg Gecko_isa Reg

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Candidates Coloring Gecko_isa Hashtbl List Meta Option Printf Reg Regions Split Valueflow

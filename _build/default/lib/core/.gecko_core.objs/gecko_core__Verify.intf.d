@@ -1,0 +1,1 @@
+lib/core/verify.mli: Cfg Gecko_isa Meta

@@ -1,0 +1,53 @@
+open Gecko_isa
+module A = Gecko_analysis
+
+type site = {
+  s_id : int;
+  s_func : int;
+  s_point : A.Fgraph.point;
+  s_live : Reg.Set.t;
+}
+
+type t = {
+  prog : Cfg.program;
+  funcs : Cfg.func array;
+  graphs : A.Fgraph.t array;
+  sites : site list;
+}
+
+let compute (p : Cfg.program) =
+  let funcs = Array.of_list p.Cfg.funcs in
+  let graphs = Array.map A.Fgraph.of_func funcs in
+  let live = A.Ipliveness.compute p in
+  let sites = ref [] in
+  Array.iteri
+    (fun fi g ->
+      let fname = funcs.(fi).Cfg.fname in
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          List.iteri
+            (fun idx i ->
+              match i with
+              | Instr.Boundary id ->
+                  let point = { A.Fgraph.blk = bi; idx } in
+                  sites :=
+                    {
+                      s_id = id;
+                      s_func = fi;
+                      s_point = point;
+                      s_live = A.Ipliveness.live_at live ~fname point;
+                    }
+                    :: !sites
+              | _ -> ())
+            b.Cfg.instrs)
+        g.A.Fgraph.blocks)
+    graphs;
+  { prog = p; funcs; graphs; sites = List.rev !sites }
+
+let site t id =
+  match List.find_opt (fun s -> s.s_id = id) t.sites with
+  | Some s -> s
+  | None -> raise Not_found
+
+let total_candidates t =
+  List.fold_left (fun acc s -> acc + Reg.Set.cardinal s.s_live) 0 t.sites

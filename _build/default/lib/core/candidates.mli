@@ -1,0 +1,27 @@
+(** Checkpoint candidates: the live-in register set of every region
+    boundary.  These are the stores a naive idempotent compiler would
+    emit; pruning then removes the reconstructible ones. *)
+
+open Gecko_isa
+module A = Gecko_analysis
+
+type site = {
+  s_id : int;  (** boundary id *)
+  s_func : int;  (** index into {!funcs} *)
+  s_point : A.Fgraph.point;  (** position of the [Boundary] instruction *)
+  s_live : Reg.Set.t;  (** live-in registers = checkpoint candidates *)
+}
+
+type t = {
+  prog : Cfg.program;
+  funcs : Cfg.func array;
+  graphs : A.Fgraph.t array;
+  sites : site list;
+}
+
+val compute : Cfg.program -> t
+
+val site : t -> int -> site
+(** Lookup by boundary id; raises [Not_found]. *)
+
+val total_candidates : t -> int

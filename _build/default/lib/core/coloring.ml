@@ -1,0 +1,292 @@
+open Gecko_isa
+module A = Gecko_analysis
+
+type t = (int * int, int) Hashtbl.t (* (boundary id, reg index) -> colour *)
+
+let color t bid r =
+  match Hashtbl.find_opt t (bid, Reg.to_int r) with
+  | Some c -> c
+  | None -> raise Not_found
+
+let adjacency cands = Spans.edges (Spans.make cands) ~stops:(fun _ -> true)
+
+let adjacency_for cands ~stops = Spans.edges (Spans.make cands) ~stops
+
+(* ------------------------------------------------------------------ *)
+(* 2-colouring                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type attempt =
+  | Colored of t
+  | Conflict of Reg.t * int list * (int * int) list
+      (** register, odd cycle, that register's directed edges *)
+
+let decision_of (decisions : Prune.result) bid r =
+  match Hashtbl.find_opt decisions bid with
+  | None -> None
+  | Some ds ->
+      List.find_map
+        (fun (x, d) -> if Reg.equal x r then Some d else None)
+        ds
+
+let stores_reg decisions bid r =
+  match decision_of decisions bid r with
+  | Some Prune.Keep | Some (Prune.Keep_stable _) -> true
+  | Some (Prune.Reuse _) | Some (Prune.Prune _) | None -> false
+
+(* Stores that provably write the same word may share a colour: a
+   partial overwrite leaves the value unchanged.  Two cases: same
+   stability class (globally crossing-invariant values), or no
+   definition of the register between the two stores (segment-level
+   identity, Valueflow). *)
+let exempt_edge vf site_of decisions r (a, b) =
+  (match (decision_of decisions a r, decision_of decisions b r) with
+  | Some (Prune.Keep_stable ca), Some (Prune.Keep_stable cb) -> ca = cb
+  | _ -> false)
+  ||
+  match (site_of a, site_of b) with
+  | Some sa, Some sb -> Valueflow.same_value_over_edge vf r ~src:sa ~dst:sb
+  | _ -> false
+
+(* Recover the odd cycle from the BFS parent map when edge (u, v) closes
+   it: tree path u -> lca plus reversed tree path v -> lca. *)
+let recover_cycle parents u v =
+  let rec ancestors x acc =
+    match Hashtbl.find_opt parents x with
+    | Some p when p <> x -> ancestors p (x :: acc)
+    | _ -> x :: acc
+  in
+  let au = List.rev (ancestors u []) (* u, parent u, ..., root *) in
+  let in_au = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace in_au x ()) au;
+  let rec climb x acc =
+    if Hashtbl.mem in_au x then (x, List.rev acc)
+    else
+      match Hashtbl.find_opt parents x with
+      | Some p when p <> x -> climb p (x :: acc)
+      | _ -> (x, List.rev acc)
+  in
+  let lca, v_part = climb v [] in
+  let rec take_until acc = function
+    | [] -> List.rev acc
+    | x :: _ when x = lca -> List.rev (x :: acc)
+    | x :: rest -> take_until (x :: acc) rest
+  in
+  let u_part = take_until [] au (* u ... lca *) in
+  u_part @ List.rev v_part
+
+let try_color vf (cands : Candidates.t) (decisions : Prune.result) =
+  let w = Spans.make cands in
+  let site_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Candidates.site) ->
+      Hashtbl.replace site_tbl s.Candidates.s_id s)
+    cands.Candidates.sites;
+  let site_of id = Hashtbl.find_opt site_tbl id in
+  let colors : t = Hashtbl.create 64 in
+  let result = ref None in
+  (try
+     List.iter
+       (fun r ->
+         let ri = Reg.to_int r in
+         let stops bid = stores_reg decisions bid r in
+         let redges =
+           List.filter
+             (fun e -> not (exempt_edge vf site_of decisions r e))
+             (Spans.edges w ~stops)
+         in
+         begin
+           (* Self-loops are odd cycles of length one. *)
+           (match List.find_opt (fun (a, b) -> a = b) redges with
+           | Some (a, _) ->
+               if Sys.getenv_opt "GECKO_COLOR_DEBUG" <> None then
+                 Printf.eprintf "  self-conflict reg %s edges %s\n%!"
+                   (Reg.to_string r)
+                   (String.concat " "
+                      (List.map
+                         (fun (x, y) -> Printf.sprintf "%d->%d" x y)
+                         redges));
+               result := Some (Conflict (r, [ a ], redges));
+               raise Exit
+           | None -> ());
+           let nbrs = Hashtbl.create 16 in
+           let add_nbr a b =
+             let old = try Hashtbl.find nbrs a with Not_found -> [] in
+             Hashtbl.replace nbrs a (b :: old)
+           in
+           List.iter
+             (fun (a, b) ->
+               add_nbr a b;
+               add_nbr b a)
+             redges;
+           let nodes =
+             List.filter_map
+               (fun (s : Candidates.site) ->
+                 if stops s.Candidates.s_id then Some s.Candidates.s_id
+                 else None)
+               cands.Candidates.sites
+           in
+           let parents = Hashtbl.create 16 in
+           List.iter
+             (fun start ->
+               if not (Hashtbl.mem colors (start, ri)) then begin
+                 Hashtbl.replace colors (start, ri) 0;
+                 Hashtbl.replace parents start start;
+                 let queue = Queue.create () in
+                 Queue.add start queue;
+                 while not (Queue.is_empty queue) do
+                   let b = Queue.take queue in
+                   let cb = Hashtbl.find colors (b, ri) in
+                   List.iter
+                     (fun n ->
+                       match Hashtbl.find_opt colors (n, ri) with
+                       | None ->
+                           Hashtbl.replace colors (n, ri) (1 - cb);
+                           Hashtbl.replace parents n b;
+                           Queue.add n queue
+                       | Some cn ->
+                           if cn = cb && n <> b then begin
+                             if Sys.getenv_opt "GECKO_COLOR_DEBUG" <> None
+                             then
+                               Printf.eprintf
+                                 "  bfs-conflict reg %s edge %d-%d edges %s\n%!"
+                                 (Reg.to_string r) b n
+                                 (String.concat " "
+                                    (List.map
+                                       (fun (x, y) ->
+                                         Printf.sprintf "%d->%d" x y)
+                                       redges));
+                             result :=
+                               Some
+                                 (Conflict
+                                    (r, recover_cycle parents b n, redges));
+                             raise Exit
+                           end)
+                     (try Hashtbl.find nbrs b with Not_found -> [])
+                 done
+               end)
+             nodes
+         end)
+       Reg.all
+   with Exit -> ());
+  match !result with Some c -> c | None -> Colored colors
+
+(* Insert a fresh boundary immediately AFTER the boundary with id [bid]:
+   that position belongs exclusively to spans originating at [bid], so the
+   insertion lengthens exactly the cycle edges leaving it. *)
+let insert_repair ~next_id (cands : Candidates.t) bid =
+  let s = Candidates.site cands bid in
+  let g = cands.Candidates.graphs.(s.Candidates.s_func) in
+  let blk = g.A.Fgraph.blocks.(s.Candidates.s_point.A.Fgraph.blk) in
+  let id = !next_id in
+  incr next_id;
+  let pos = s.Candidates.s_point.A.Fgraph.idx + 1 in
+  let rec go i = function
+    | rest when i = pos -> Instr.Boundary id :: rest
+    | [] -> [ Instr.Boundary id ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  blk.Cfg.instrs <- go 0 blk.Cfg.instrs
+
+(* Pick the cycle node to repair after.  The insertion point just after a
+   boundary X reroutes exactly the spans leaving X, so the chosen node
+   must be the source of a directed cycle edge; a node with out-degree 1
+   is ideal (the rewiring is private to the cycle edge and cannot flip
+   the parity of unrelated cycles). *)
+let pick_repair_node edges cycle =
+  match cycle with
+  | [] -> invalid_arg "Coloring.pick_repair_node: empty cycle"
+  | [ x ] -> x (* self-loop *)
+  | first :: _ ->
+      let out_deg x =
+        List.length (List.filter (fun (a, b) -> a = x && b <> x) edges)
+      in
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | [ last ] -> [ (last, first) ]
+        | [] -> []
+      in
+      let candidates =
+        List.concat_map
+          (fun (a, b) ->
+            let fwd = if List.mem (a, b) edges then [ a ] else [] in
+            let bwd = if List.mem (b, a) edges then [ b ] else [] in
+            fwd @ bwd)
+          (pairs cycle)
+      in
+      let best =
+        List.fold_left
+          (fun acc x ->
+            match acc with
+            | None -> Some x
+            | Some y -> if out_deg x < out_deg y then Some x else acc)
+          None candidates
+      in
+      (match best with Some x -> x | None -> first)
+
+let assign ~next_id ~analyze (p : Cfg.program) =
+  let repairs : (int, Reg.Set.t) Hashtbl.t = Hashtbl.create 8 in
+  let repair_at : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rec loop round =
+    if round > 256 then failwith "Coloring.assign: did not converge";
+    (* Decisions are recomputed after every insertion.  A repair boundary
+       force-keeps exactly the problematic register (the paper's
+       "additional checkpoint that saves the problematic register to a
+       different index"): analyze would otherwise reuse it away and undo
+       the alternation; its other live-ins are treated normally. *)
+    let cands = Candidates.compute p in
+    let decisions = analyze p cands in
+    Hashtbl.iter
+      (fun bid regs ->
+        match Hashtbl.find_opt decisions bid with
+        | None -> ()
+        | Some ds ->
+            Hashtbl.replace decisions bid
+              (List.map
+                 (fun (r, d) ->
+                   if Reg.Set.mem r regs then (r, Prune.Keep) else (r, d))
+                 ds))
+      repairs;
+    let vf = Valueflow.make p cands in
+    match try_color vf cands decisions with
+    | Colored colors -> (cands, decisions, colors)
+    | Conflict (reg, cycle, redges) ->
+        let node = pick_repair_node redges cycle in
+        if Sys.getenv_opt "GECKO_COLOR_DEBUG" <> None then
+          Printf.eprintf "round %d: reg %s cycle [%s] repair after %d\n%!"
+            round (Reg.to_string reg)
+            (String.concat ";" (List.map string_of_int cycle))
+            node;
+        (* Coalesce: several registers self-looping at the same node
+           share one repair boundary.  If that repair already hosts this
+           register (the cycle involves the repair itself), a fresh
+           boundary is inserted between the node and its repair. *)
+        let coalesced =
+          match Hashtbl.find_opt repair_at node with
+          | Some rid ->
+              let old =
+                try Hashtbl.find repairs rid with Not_found -> Reg.Set.empty
+              in
+              if Reg.Set.mem reg old then false
+              else begin
+                Hashtbl.replace repairs rid (Reg.Set.add reg old);
+                true
+              end
+          | None -> false
+        in
+        if not coalesced then begin
+          Hashtbl.replace repair_at node !next_id;
+          Hashtbl.replace repairs !next_id (Reg.Set.singleton reg);
+          insert_repair ~next_id cands node
+        end;
+        loop (round + 1)
+  in
+  loop 0
+
+let try_color_debug cands decisions =
+  (* Debug entry without a program handle: rebuild from candidates. *)
+  match try_color (Valueflow.make cands.Candidates.prog cands) cands decisions with
+  | Colored _ -> None
+  | Conflict (_, c, _) -> Some c
+
+let insert_repair_debug = insert_repair

@@ -1,0 +1,21 @@
+open Gecko_isa
+
+let block (b : Cfg.block) =
+  {
+    Cfg.label = b.Cfg.label;
+    instrs = b.Cfg.instrs;
+    term = b.Cfg.term;
+    loop_bound = b.Cfg.loop_bound;
+  }
+
+let func (f : Cfg.func) =
+  { Cfg.fname = f.Cfg.fname; blocks = List.map block f.Cfg.blocks }
+
+let program (p : Cfg.program) =
+  {
+    Cfg.pname = p.Cfg.pname;
+    funcs = List.map func p.Cfg.funcs;
+    main = p.Cfg.main;
+    spaces = p.Cfg.spaces;
+    init_data = p.Cfg.init_data;
+  }

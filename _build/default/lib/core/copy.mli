@@ -1,0 +1,4 @@
+(** Deep copy of a CFG program, so one built program can be compiled under
+    several schemes independently. *)
+
+val program : Gecko_isa.Cfg.program -> Gecko_isa.Cfg.program

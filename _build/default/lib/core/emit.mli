@@ -1,0 +1,21 @@
+(** Materialize checkpoint stores and recovery metadata.
+
+    GECKO schemes: for every boundary, one [Ckpt (r, colour)] per kept
+    candidate is inserted immediately before the [Boundary] instruction,
+    and pruned candidates' slices are materialized (slot leaves resolved
+    to [LdSlot] with the boundary's colour for that register).
+
+    Ratchet: sixteen [CkptDyn] stores before every boundary; restores are
+    parity-driven at runtime, so per-boundary metadata is empty. *)
+
+open Gecko_isa
+
+val gecko :
+  Scheme.t ->
+  Cfg.program ->
+  Candidates.t ->
+  Prune.result ->
+  Coloring.t ->
+  Meta.t
+
+val ratchet : Cfg.program -> Meta.t

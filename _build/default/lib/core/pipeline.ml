@@ -1,0 +1,65 @@
+open Gecko_isa
+
+let default_budget = 4000
+
+(* Upper bound on per-boundary checkpoint cost, used when sizing regions
+   before the stores exist. *)
+let ckpt_overhead_estimate = function
+  | Scheme.Nvp -> 0
+  | Scheme.Ratchet ->
+      (Reg.count * Cost.instr_cycles (Instr.CkptDyn Reg.r0))
+      + Cost.instr_cycles (Instr.Boundary 0)
+  | Scheme.Gecko_noprune | Scheme.Gecko ->
+      (Reg.count * Cost.instr_cycles (Instr.Ckpt (Reg.r0, 0)))
+      + Cost.instr_cycles (Instr.Boundary 0)
+
+let fail_on_errors what = function
+  | Ok () -> ()
+  | Error errs ->
+      failwith
+        (Printf.sprintf "Pipeline: %s verification failed:\n%s" what
+           (String.concat "\n" errs))
+
+let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
+    ?(prune_reuse = true) scheme prog =
+  let p = Copy.program prog in
+  match scheme with
+  | Scheme.Nvp -> (p, Meta.empty Scheme.Nvp)
+  | Scheme.Ratchet | Scheme.Gecko_noprune | Scheme.Gecko ->
+      let next_id = ref 0 in
+      ignore (Regions.form ~next_id p);
+      let overhead = ckpt_overhead_estimate scheme in
+      ignore (Split.by_wcet ~next_id ~budget:budget_cycles ~ckpt_overhead:overhead p);
+      ignore (Regions.form ~next_id p);
+      let meta =
+        match scheme with
+        | Scheme.Ratchet -> Emit.ratchet p
+        | Scheme.Gecko | Scheme.Gecko_noprune ->
+            let analyze =
+              match scheme with
+              | Scheme.Gecko ->
+                  Prune.analyze_with ~slices:prune_slices ~reuse:prune_reuse
+              | Scheme.Gecko_noprune | Scheme.Ratchet | Scheme.Nvp ->
+                  fun _p cands -> Prune.keep_all cands
+            in
+            let cands, decisions, colors =
+              Coloring.assign ~next_id ~analyze p
+            in
+            Emit.gecko scheme p cands decisions colors
+        | Scheme.Nvp -> assert false
+      in
+      fail_on_errors "idempotence" (Verify.idempotence p);
+      (match scheme with
+      | Scheme.Gecko | Scheme.Gecko_noprune ->
+          fail_on_errors "coloring" (Verify.coloring p meta)
+      | Scheme.Ratchet | Scheme.Nvp -> ());
+      fail_on_errors "wcet" (Verify.wcet ~budget:budget_cycles p);
+      (p, meta)
+
+let checkpoint_store_count p =
+  Cfg.count_matching p (function
+    | Instr.Ckpt _ | Instr.CkptDyn _ -> true
+    | _ -> false)
+
+let boundary_count p =
+  Cfg.count_matching p (function Instr.Boundary _ -> true | _ -> false)

@@ -1,0 +1,39 @@
+(** The GECKO compiler driver: the five-step pass sequence of Section VI-B
+    plus pruning, colouring and emission.
+
+    {ol
+    {- idempotent region formation;}
+    {- WCET analysis of every region span;}
+    {- splitting of regions that cannot finish within one charge cycle
+       (looping back to the WCET analysis);}
+    {- a second region-formation pass (splits may have broken a WARAW
+       exemption);}
+    {- checkpoint insertion: candidates (live-ins) → pruning → slot
+       colouring (with repair boundaries) → emission of checkpoint
+       stores and recovery metadata.}}
+
+    The input program is deep-copied: one built workload can be compiled
+    under every scheme. *)
+
+open Gecko_isa
+
+val default_budget : int
+(** Default charge-cycle budget in cycles (overridden by experiment
+    configurations derived from board parameters). *)
+
+val compile :
+  ?budget_cycles:int ->
+  ?prune_slices:bool ->
+  ?prune_reuse:bool ->
+  Scheme.t ->
+  Cfg.program ->
+  Cfg.program * Meta.t
+(** [prune_slices]/[prune_reuse] (both default [true]) independently
+    disable the two checkpoint-pruning mechanisms of the [Gecko] scheme —
+    the ablation study.  Raises [Failure] if a verification pass fails —
+    a compiler bug, not a user error. *)
+
+val checkpoint_store_count : Cfg.program -> int
+(** Static count of checkpoint stores ([Ckpt] / [CkptDyn]) — Table III. *)
+
+val boundary_count : Cfg.program -> int

@@ -1,0 +1,48 @@
+type mode = Jit_on | Idempotent | Probe
+
+type boot_obs = { ack_ok : bool; progress : bool }
+
+type boot_action = Resume_jit | Rollback
+
+let mode_to_int = function Jit_on -> 0 | Idempotent -> 1 | Probe -> 2
+
+let mode_of_int = function
+  | 0 -> Jit_on
+  | 1 -> Idempotent
+  | 2 -> Probe
+  | n -> invalid_arg (Printf.sprintf "Policy.mode_of_int: %d" n)
+
+let mode_to_string = function
+  | Jit_on -> "JIT"
+  | Idempotent -> "idempotent"
+  | Probe -> "probe"
+
+let on_boot mode obs =
+  match mode with
+  | Jit_on ->
+      if obs.ack_ok && obs.progress then (Jit_on, Resume_jit, false)
+      else (Idempotent, Rollback, true)
+  | Idempotent ->
+      (* Attempt to get back to normal: re-enable the monitor for one
+         probationary region. *)
+      (Probe, Rollback, false)
+  | Probe ->
+      (* The probe power cycle ended without a commit and without a
+         signal (e.g. a hard brownout): stay defensive. *)
+      (Idempotent, Rollback, false)
+
+type backup_action = Checkpoint_and_sleep | Rollback_inline
+
+let on_backup_signal mode ~early =
+  match mode with
+  | Jit_on ->
+      if early then (Idempotent, Rollback_inline, true)
+      else (Jit_on, Checkpoint_and_sleep, false)
+  | Probe -> (Idempotent, Rollback_inline, true)
+  | Idempotent -> (Idempotent, Rollback_inline, false)
+
+let on_region_commit = function
+  | Probe -> Jit_on
+  | (Jit_on | Idempotent) as m -> m
+
+let monitor_enabled = function Jit_on | Probe -> true | Idempotent -> false

@@ -1,0 +1,62 @@
+(** GECKO's reactive EMI-attack detection and mode control (Sections VI-A
+    and VI-F), as a pure state machine hosted by the runtime.
+
+    Modes:
+    - [Jit_on]: normal operation; the voltage monitor is trusted and JIT
+      checkpointing serves roll-forward recovery.
+    - [Idempotent]: under attack; the monitor is disabled (attack surface
+      closed) and recovery rolls back to the last committed region.
+    - [Probe]: first region after a reboot while recovering from an
+      attack; the monitor is re-enabled provisionally.  A checkpoint
+      signal before the first region commit means the attack persists.
+
+    Detection signals at boot:
+    - ACK check: the JIT checkpoint ISR persists a toggling ACK as its
+      last write; an untoggled ACK across a power failure means the
+      checkpoint was cut short (data corruption attempt).
+    - Progress check: at least one region boundary must have committed
+      since the previous boot — a full charge guarantees one region by
+      WCET construction, so zero progress means spurious wake-ups (DoS).
+
+    The mode is persisted in NVM by the host so it survives outages. *)
+
+type mode = Jit_on | Idempotent | Probe
+
+type boot_obs = {
+  ack_ok : bool;  (** ACK toggled as expected across the outage. *)
+  progress : bool;  (** ≥ 1 region committed during the last power cycle. *)
+}
+
+type boot_action =
+  | Resume_jit  (** Restore registers/PC from the JIT checkpoint area. *)
+  | Rollback  (** Re-enter the last committed region via GECKO metadata. *)
+
+val mode_to_int : mode -> int
+val mode_of_int : int -> mode
+val mode_to_string : mode -> string
+
+val on_boot : mode -> boot_obs -> mode * boot_action * bool
+(** New mode, how to restore state, and whether an attack was detected at
+    this boot. *)
+
+type backup_action =
+  | Checkpoint_and_sleep  (** Trust the signal: JIT checkpoint, power down. *)
+  | Rollback_inline
+      (** Reject the signal: disable the monitor, re-enter the interrupted
+          region from compiler checkpoints, keep running (Section VI-F:
+          "rolls back to a recent idempotent recovery point"). *)
+
+val on_backup_signal : mode -> early:bool -> mode * backup_action * bool
+(** The monitor raised a checkpoint signal while running.  [early] is the
+    timer-based detection input: the signal arrived sooner after boot
+    than the guaranteed minimum power-on period of a full charge, which a
+    genuine discharge cannot do.  In [Probe], {e any} signal before the
+    first region commit means the attack persists.  Returns (new mode,
+    action, detected). *)
+
+val on_region_commit : mode -> mode
+(** A region boundary committed.  In [Probe], the quiet first region
+    completes the re-enable handshake: back to [Jit_on]. *)
+
+val monitor_enabled : mode -> bool
+(** The attack surface is closed in [Idempotent] mode. *)

@@ -1,0 +1,494 @@
+open Gecko_isa
+module A = Gecko_analysis
+
+type node = Nslot of Reg.t | Ninstr of Instr.t
+
+type decision = Keep | Keep_stable of int | Reuse of int | Prune of node list
+
+type result = (int, (Reg.t * decision) list) Hashtbl.t
+
+let max_slice_nodes = 16
+let max_depth = 24
+
+exception Unsliceable
+
+type ctx = {
+  prog : Cfg.program;
+  g : A.Fgraph.t;
+  dom : A.Dom.t;
+  reaching : A.Reaching.t;
+  defsites : A.Fgraph.point list array;  (* per register, incl. call clobbers *)
+  pb : A.Fgraph.point;  (* the boundary *)
+  live : Reg.Set.t;
+  pruned : (int, unit) Hashtbl.t;  (* regs already pruned at this boundary *)
+  pinned : (int, unit) Hashtbl.t;
+      (* regs referenced as slot leaves by earlier slices: their
+         checkpoints must stay *)
+  target : Reg.t;  (* the register being sliced *)
+  mutable emitted : node list;  (* reversed: parents before children *)
+  mutable count : int;
+  seen_sites : (int * int, bool) Hashtbl.t;  (* false = in progress *)
+  seen_slots : (int, unit) Hashtbl.t;
+}
+
+let emit ctx node =
+  ctx.count <- ctx.count + 1;
+  if ctx.count > max_slice_nodes then raise Unsliceable;
+  ctx.emitted <- node :: ctx.emitted
+
+(* Value preservation of [q] between [p] and the boundary: either the
+   same unique definition reaches both points, or no definition of [q]
+   can execute on a path from [p] to the boundary without re-crossing
+   [p] (re-crossing re-executes the instruction at [p], refreshing the
+   dependence with current values, so the recomputation still agrees). *)
+let no_def_between ctx q p =
+  let pb = ctx.pb in
+  let pblk = p.A.Fgraph.blk in
+  let reach_avoiding srcs dst =
+    let seen = Hashtbl.create 16 in
+    let found = ref false in
+    let rec go b =
+      if b <> pblk && not (Hashtbl.mem seen b) then begin
+        Hashtbl.replace seen b ();
+        if b = dst then found := true
+        else List.iter go ctx.g.A.Fgraph.succ.(b)
+      end
+    in
+    List.iter (fun b -> go b) srcs;
+    !found
+  in
+  List.for_all
+    (fun (dq : A.Fgraph.point) ->
+      if dq.A.Fgraph.blk = pblk then
+        (* Positions before [p] require re-entering the block, which
+           crosses [p] first.  Positions at/after [p] run immediately —
+           but when the boundary sits later in the same block, only defs
+           strictly between the two points interfere (later ones must
+           wrap around and re-cross [p]). *)
+        dq.A.Fgraph.idx < p.A.Fgraph.idx
+        || (pb.A.Fgraph.blk = pblk
+           && pb.A.Fgraph.idx > p.A.Fgraph.idx
+           && dq.A.Fgraph.idx >= pb.A.Fgraph.idx)
+      else
+        let step1 =
+          reach_avoiding ctx.g.A.Fgraph.succ.(pblk) dq.A.Fgraph.blk
+        in
+        let step2 =
+          (dq.A.Fgraph.blk = pb.A.Fgraph.blk
+          && dq.A.Fgraph.idx < pb.A.Fgraph.idx)
+          || reach_avoiding
+               ctx.g.A.Fgraph.succ.(dq.A.Fgraph.blk)
+               pb.A.Fgraph.blk
+        in
+        not (step1 && step2))
+    ctx.defsites.(Reg.to_int q)
+
+let value_preserved ctx q p =
+  (match
+     ( A.Reaching.unique_at ctx.reaching q p,
+       A.Reaching.unique_at ctx.reaching q ctx.pb )
+   with
+  | Some d1, Some d2 -> A.Reaching.def_equal d1 d2
+  | _ -> false)
+  || no_def_between ctx q p
+
+let rec slice_def ctx depth q (d : A.Reaching.def) =
+  if depth > max_depth then raise Unsliceable;
+  match d with
+  | A.Reaching.Entry -> raise Unsliceable
+  | A.Reaching.Site dp ->
+      if not (A.Dom.dominates_point ctx.dom dp ctx.pb) then raise Unsliceable;
+      let key = (dp.A.Fgraph.blk, dp.A.Fgraph.idx) in
+      (match Hashtbl.find_opt ctx.seen_sites key with
+      | Some true -> () (* already emitted *)
+      | Some false ->
+          (* Circular dependence: the site is still being expanded, so
+             its value cannot be recomputed bottom-up. *)
+          raise Unsliceable
+      | None -> ());
+      if Hashtbl.mem ctx.seen_sites key then ()
+      else begin
+        Hashtbl.replace ctx.seen_sites key false;
+        let instr =
+          match A.Fgraph.instr_at ctx.g dp with
+          | Some i -> i
+          | None -> raise Unsliceable
+        in
+        (match instr with
+        | Instr.Li _ -> ()
+        | Instr.Mov (_, s) -> need ctx (depth + 1) s dp
+        | Instr.Bin (_, _, a, Instr.Oreg b) ->
+            need ctx (depth + 1) a dp;
+            need ctx (depth + 1) b dp
+        | Instr.Bin (_, _, a, Instr.Oimm _) -> need ctx (depth + 1) a dp
+        | Instr.Ld (_, m) ->
+            if not (A.Alias.location_read_only ctx.prog m) then
+              raise Unsliceable;
+            (match m.Instr.disp with
+            | Instr.Dreg i -> need ctx (depth + 1) i dp
+            | Instr.Dconst _ -> ())
+        | Instr.In _ | Instr.Out _ | Instr.St _ | Instr.Nop | Instr.Ckpt _
+        | Instr.CkptDyn _ | Instr.LdSlot _ | Instr.Boundary _ ->
+            raise Unsliceable);
+        ignore q;
+        Hashtbl.replace ctx.seen_sites key true;
+        emit ctx (Ninstr instr)
+      end
+
+(* Obtain [q]'s value-at-[p] (proven equal to its value-at-boundary). *)
+and need ctx depth q p =
+  (* Even a slot read requires value preservation between [p] and the
+     boundary: the slot holds the value-at-boundary. *)
+  if not (value_preserved ctx q p) then raise Unsliceable;
+  let slot_eligible =
+    Reg.Set.mem q ctx.live
+    && (not (Hashtbl.mem ctx.pruned (Reg.to_int q)))
+    && not (Reg.equal q ctx.target)
+  in
+  if slot_eligible then begin
+    if not (Hashtbl.mem ctx.seen_slots (Reg.to_int q)) then begin
+      Hashtbl.replace ctx.seen_slots (Reg.to_int q) ();
+      emit ctx (Nslot q)
+    end
+  end
+  else
+    match A.Reaching.unique_at ctx.reaching q ctx.pb with
+    | Some d -> slice_def ctx depth q d
+    | None -> raise Unsliceable
+
+let try_slice prog g dom reaching defsites pb live pruned pinned r =
+  let ctx =
+    {
+      prog;
+      g;
+      dom;
+      reaching;
+      defsites;
+      pb;
+      live;
+      pruned;
+      pinned;
+      target = r;
+      emitted = [];
+      count = 0;
+      seen_sites = Hashtbl.create 8;
+      seen_slots = Hashtbl.create 8;
+    }
+  in
+  match A.Reaching.unique_at reaching r pb with
+  | None | Some A.Reaching.Entry -> None
+  | Some (A.Reaching.Site _ as d) -> (
+      try
+        slice_def ctx 0 r d;
+        (* Commit the slot references: those registers must stay
+           checkpointed at this boundary. *)
+        Hashtbl.iter (fun q () -> Hashtbl.replace pinned q ()) ctx.seen_slots;
+        Some (List.rev ctx.emitted)
+      with Unsliceable -> None)
+
+let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
+  let result : result = Hashtbl.create 32 in
+  (* Per-function analyses, shared across the function's boundaries.  Call
+     sites act as definition points for the callee's clobber set, so no
+     value is assumed preserved across a call that may overwrite it. *)
+  let clobbers = A.Clobbers.compute p in
+  let call_defs = A.Clobbers.of_function clobbers in
+  let defsites_of (g : A.Fgraph.t) =
+    let ds = Array.make Reg.count [] in
+    Array.iteri
+      (fun bi (b : Cfg.block) ->
+        List.iteri
+          (fun idx i ->
+            Reg.Set.iter
+              (fun r ->
+                ds.(Reg.to_int r) <-
+                  { A.Fgraph.blk = bi; idx } :: ds.(Reg.to_int r))
+              (Instr.defs i))
+          b.Cfg.instrs;
+        match b.Cfg.term with
+        | Instr.Call (callee, _) ->
+            let pos = { A.Fgraph.blk = bi; idx = List.length b.Cfg.instrs } in
+            Reg.Set.iter
+              (fun r -> ds.(Reg.to_int r) <- pos :: ds.(Reg.to_int r))
+              (call_defs callee)
+        | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> ())
+      g.A.Fgraph.blocks;
+    ds
+  in
+  let per_func =
+    Array.map
+      (fun g ->
+        (g, A.Dom.compute g, A.Reaching.compute ~call_defs g, defsites_of g))
+      cands.Candidates.graphs
+  in
+  (* Phase 1: slice-based pruning. *)
+  List.iter
+    (fun (s : Candidates.site) ->
+      let g, dom, reaching, defsites = per_func.(s.Candidates.s_func) in
+      let pruned = Hashtbl.create 8 in
+      let pinned = Hashtbl.create 8 in
+      let decisions =
+        List.map
+          (fun r ->
+            if (not slices) || Hashtbl.mem pinned (Reg.to_int r) then (r, Keep)
+            else
+              match
+                try_slice p g dom reaching defsites s.Candidates.s_point
+                  s.Candidates.s_live pruned pinned r
+              with
+              | Some slice ->
+                  Hashtbl.replace pruned (Reg.to_int r) ();
+                  (r, Prune slice)
+              | None -> (r, Keep))
+          (Reg.Set.elements s.Candidates.s_live)
+      in
+      Hashtbl.replace result s.Candidates.s_id decisions)
+    cands.Candidates.sites;
+  (* Phase 2: redundant-checkpoint elimination.  A kept checkpoint of
+     [r] at site [s] is redundant when a dominating site [o] already has
+     a restore of [r] (owned store, or itself a reuse of a further
+     dominating store) and no definition of [r] — including call-clobber
+     pseudo-definitions — can execute on a path from [o] to [s] that does
+     not re-cross [o].  Then [r]'s value at [s] equals the value the
+     root store saved on this very pass, so the restore can reference the
+     root's slot.  (Any other store of [r] in between necessarily writes
+     that same value, so even a shared colour is harmless; no further
+     containment condition is needed.)
+
+     A second pass marks the remaining owned stores whose value is
+     identical at every crossing ([Keep_stable]): no definition of the
+     register is reachable from the store and the function is never
+     called.  Same-class stable stores may share a slot colour. *)
+  let decision_for bid r =
+    match Hashtbl.find_opt result bid with
+    | None -> None
+    | Some ds ->
+        List.find_map
+          (fun (x, d) -> if Reg.equal x r then Some d else None)
+          ds
+  in
+  let set_decision bid r d =
+    let ds = Hashtbl.find result bid in
+    Hashtbl.replace result bid
+      (List.map (fun (x, old) -> if Reg.equal x r then (x, d) else (x, old)) ds)
+  in
+  let callable = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      List.iter
+        (fun (b : Cfg.block) ->
+          match b.Cfg.term with
+          | Instr.Call (callee, _) -> Hashtbl.replace callable callee ()
+          | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> ())
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  let block_reach =
+    Array.map (fun (g, _, _, _) -> A.Blockreach.compute g) per_func
+  in
+  (* No definition of [r] on any o->s path avoiding o (block-granular:
+     entering o's block crosses o, since blocks are straight-line). *)
+  let no_defs_between fi (defsites : A.Fgraph.point list array) r
+      (op : A.Fgraph.point) (sp : A.Fgraph.point) =
+    let g = cands.Candidates.graphs.(fi) in
+    let ob = op.A.Fgraph.blk in
+    let reach_avoiding srcs dst =
+      let seen = Hashtbl.create 16 in
+      let found = ref false in
+      let rec go b =
+        if b <> ob && not (Hashtbl.mem seen b) then begin
+          Hashtbl.replace seen b ();
+          if b = dst then found := true
+          else List.iter go g.A.Fgraph.succ.(b)
+        end
+      in
+      List.iter go srcs;
+      !found
+    in
+    List.for_all
+      (fun (dq : A.Fgraph.point) ->
+        if dq.A.Fgraph.blk = ob then
+          (* Positions before o require re-entering the block (crossing
+             o); positions after o interfere only if s is not later in
+             the same block (otherwise they must wrap and re-cross o). *)
+          dq.A.Fgraph.idx < op.A.Fgraph.idx
+          || (sp.A.Fgraph.blk = ob
+             && sp.A.Fgraph.idx > op.A.Fgraph.idx
+             && dq.A.Fgraph.idx >= sp.A.Fgraph.idx)
+        else
+          let step1 = reach_avoiding g.A.Fgraph.succ.(ob) dq.A.Fgraph.blk in
+          let step2 =
+            (dq.A.Fgraph.blk = sp.A.Fgraph.blk
+            && dq.A.Fgraph.idx < sp.A.Fgraph.idx)
+            || reach_avoiding
+                 g.A.Fgraph.succ.(dq.A.Fgraph.blk)
+                 sp.A.Fgraph.blk
+          in
+          not (step1 && step2))
+      defsites.(Reg.to_int r)
+  in
+  (* Per-function dominance-sorted sites (dominators first). *)
+  let sites_of_func = Array.make (Array.length cands.Candidates.funcs) [] in
+  List.iter
+    (fun (s : Candidates.site) ->
+      sites_of_func.(s.Candidates.s_func) <-
+        s :: sites_of_func.(s.Candidates.s_func))
+    cands.Candidates.sites;
+  let changed = ref reuse in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    incr rounds;
+    changed := false;
+    Array.iteri
+      (fun fi (_, dom, _, defsites) ->
+        let sites = sites_of_func.(fi) in
+        List.iter
+          (fun (s : Candidates.site) ->
+            List.iter
+              (fun r ->
+                match decision_for s.Candidates.s_id r with
+                | Some Keep ->
+                    (* Nearest dominating site with r live and a usable
+                       restore. *)
+                    let doms =
+                      List.filter
+                        (fun (o : Candidates.site) ->
+                          o.Candidates.s_id <> s.Candidates.s_id
+                          && Reg.Set.mem r o.Candidates.s_live
+                          && A.Dom.dominates_point dom o.Candidates.s_point
+                               s.Candidates.s_point)
+                        sites
+                    in
+                    (* Nearest = dominated by all the others. *)
+                    let nearest =
+                      List.fold_left
+                        (fun best (o : Candidates.site) ->
+                          match best with
+                          | None -> Some o
+                          | Some b ->
+                              if
+                                A.Dom.dominates_point dom
+                                  b.Candidates.s_point o.Candidates.s_point
+                              then Some o
+                              else best)
+                        None doms
+                    in
+                    (match nearest with
+                    | None -> ()
+                    | Some o -> (
+                        let target =
+                          match decision_for o.Candidates.s_id r with
+                          | Some Keep | Some (Keep_stable _) ->
+                              Some o.Candidates.s_id
+                          | Some (Reuse t) -> Some t
+                          | Some (Prune _) | None -> None
+                        in
+                        match target with
+                        | Some t
+                          when no_defs_between fi defsites r
+                                 o.Candidates.s_point s.Candidates.s_point ->
+                            set_decision s.Candidates.s_id r (Reuse t);
+                            changed := true
+                        | Some _ | None -> ()))
+                | Some (Keep_stable _) | Some (Reuse _) | Some (Prune _)
+                | None ->
+                    ())
+              (Reg.Set.elements s.Candidates.s_live))
+          sites)
+      per_func
+  done;
+  (* Normalize reuse chains: owners decided in a later round may have
+     become reusers themselves; restores must reference the root owned
+     store. *)
+  List.iter
+    (fun (s : Candidates.site) ->
+      List.iter
+        (fun r ->
+          match decision_for s.Candidates.s_id r with
+          | Some (Reuse t) ->
+              let rec root t seen =
+                if List.mem t seen then t
+                else
+                  match decision_for t r with
+                  | Some (Reuse t') -> root t' (t :: seen)
+                  | Some Keep | Some (Keep_stable _) | Some (Prune _) | None
+                    ->
+                      t
+              in
+              let t' = root t [] in
+              if t' <> t then set_decision s.Candidates.s_id r (Reuse t')
+          | Some Keep | Some (Keep_stable _) | Some (Prune _) | None -> ())
+        (Reg.Set.elements s.Candidates.s_live))
+    cands.Candidates.sites;
+  (* Stability pass. *)
+  Array.iteri
+    (fun fi (_, _, _, defsites) ->
+      let reach = block_reach.(fi) in
+      let fname = cands.Candidates.funcs.(fi).Cfg.fname in
+      if not (Hashtbl.mem callable fname) then
+        List.iter
+          (fun (s : Candidates.site) ->
+            List.iter
+              (fun r ->
+                match decision_for s.Candidates.s_id r with
+                | Some Keep ->
+                    let sp = s.Candidates.s_point in
+                    let stable =
+                      List.for_all
+                        (fun (dq : A.Fgraph.point) ->
+                          let self_cycle =
+                            A.Blockreach.reaches reach sp.A.Fgraph.blk
+                              sp.A.Fgraph.blk
+                          in
+                          if dq.A.Fgraph.blk = sp.A.Fgraph.blk then
+                            not (dq.A.Fgraph.idx > sp.A.Fgraph.idx || self_cycle)
+                          else
+                            not
+                              (A.Blockreach.reaches reach sp.A.Fgraph.blk
+                                 dq.A.Fgraph.blk))
+                        defsites.(Reg.to_int r)
+                    in
+                    if stable then
+                      set_decision s.Candidates.s_id r
+                        (Keep_stable
+                           ((Reg.to_int r * 1_000_000) + s.Candidates.s_id))
+                | Some (Keep_stable _) | Some (Reuse _) | Some (Prune _)
+                | None ->
+                    ())
+              (Reg.Set.elements s.Candidates.s_live))
+          sites_of_func.(fi))
+    per_func;
+  result
+
+let analyze = analyze_with ~slices:true ~reuse:true
+
+let keep_all (cands : Candidates.t) =
+  let result : result = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Candidates.site) ->
+      Hashtbl.replace result s.Candidates.s_id
+        (List.map (fun r -> (r, Keep)) (Reg.Set.elements s.Candidates.s_live)))
+    cands.Candidates.sites;
+  result
+
+let count_matching f (result : result) =
+  Hashtbl.fold
+    (fun _ ds acc ->
+      acc + List.length (List.filter (fun (_, d) -> f d) ds))
+    result 0
+
+let kept_count =
+  count_matching (function
+    | Keep | Keep_stable _ -> true
+    | Reuse _ | Prune _ -> false)
+
+let reused_count =
+  count_matching (function
+    | Reuse _ -> true
+    | Keep | Keep_stable _ | Prune _ -> false)
+
+let sliced_count =
+  count_matching (function
+    | Prune _ -> true
+    | Keep | Keep_stable _ | Reuse _ -> false)
+
+let pruned_count r = reused_count r + sliced_count r

@@ -1,0 +1,63 @@
+(** Checkpoint pruning with recovery-block construction (Sections VI-C/VI-E).
+
+    A candidate checkpoint of register [r] at boundary [b] can be pruned
+    iff a {e recovery block} — a backward program slice — can reconstruct
+    [r]'s value-at-[b] at recovery time from safe sources only:
+
+    - constants ([Li]);
+    - loads from locations no store in the program can clobber;
+    - registers that remain checkpointed at [b] itself (slot reads).
+
+    Soundness conditions enforced during data-dependence backtracking:
+    every slice instruction's definition must dominate [b] (control-flow
+    integrity of the slice), and every operand must have the {e same}
+    unique reaching definition at its use site and at [b] (its value is
+    unchanged over the gap, so recomputing with values-at-[b] is exact).
+    Slices are capped in size; oversized candidates are kept. *)
+
+open Gecko_isa
+
+type node =
+  | Nslot of Reg.t
+      (** Read the register's checkpoint slot at this boundary (colour
+          resolved at emission). *)
+  | Ninstr of Instr.t  (** Re-execute an original instruction verbatim. *)
+
+type decision =
+  | Keep
+  | Keep_stable of int
+      (** A kept store whose value is identical at every crossing (its
+          unique definition cannot re-execute between crossings, and the
+          function is never called re-entrantly).  Stores of the same
+          stability class may share a slot colour: overwriting with an
+          identical word is harmless. *)
+  | Reuse of int
+      (** Redundant-checkpoint elimination: the register's value is
+          provably unchanged since a dominating boundary that still
+          checkpoints it; the restore references the owner's slot and no
+          store is emitted here.  This removes the per-iteration
+          re-checkpointing of loop-invariant registers. *)
+  | Prune of node list
+
+type result = (int, (Reg.t * decision) list) Hashtbl.t
+(** Boundary id -> per-candidate decision (in ascending register order). *)
+
+val max_slice_nodes : int
+
+val analyze : Cfg.program -> Candidates.t -> result
+
+val analyze_with :
+  slices:bool -> reuse:bool -> Cfg.program -> Candidates.t -> result
+(** Ablation entry point: disable the recovery-block slicing and/or the
+    redundant-checkpoint reuse independently ([analyze] enables both). *)
+
+val keep_all : Candidates.t -> result
+(** The no-pruning configuration: every candidate kept. *)
+
+val kept_count : result -> int
+
+val pruned_count : result -> int
+(** Sliced plus reused — checkpoint stores removed. *)
+
+val reused_count : result -> int
+val sliced_count : result -> int

@@ -1,0 +1,228 @@
+open Gecko_isa
+module A = Gecko_analysis
+
+let is_boundary = function Instr.Boundary _ -> true | _ -> false
+
+let fresh next_id =
+  let id = !next_id in
+  incr next_id;
+  Instr.Boundary id
+
+(* Insert a boundary at the head of a block unless one is already there. *)
+let boundary_at_head next_id (b : Cfg.block) =
+  match b.Cfg.instrs with
+  | i :: _ when is_boundary i -> 0
+  | _ ->
+      b.Cfg.instrs <- fresh next_id :: b.Cfg.instrs;
+      1
+
+(* Rebuild a block so every I/O instruction is bracketed by boundaries. *)
+let bracket_io next_id (b : Cfg.block) =
+  let inserted = ref 0 in
+  let rec go prev_was_boundary = function
+    | [] -> []
+    | i :: rest when Instr.is_io i ->
+        let before =
+          if prev_was_boundary then []
+          else begin
+            incr inserted;
+            [ fresh next_id ]
+          end
+        in
+        let after =
+          match rest with
+          | r :: _ when is_boundary r -> []
+          | _ ->
+              incr inserted;
+              [ fresh next_id ]
+        in
+        before @ (i :: after) @ go (after <> []) rest
+    | i :: rest -> i :: go (is_boundary i) rest
+  in
+  b.Cfg.instrs <- go false b.Cfg.instrs;
+  !inserted
+
+let structural_pass next_id (p : Cfg.program) =
+  let inserted = ref 0 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let g = A.Fgraph.of_func f in
+      let dom = A.Dom.compute g in
+      let loops = A.Loops.compute g dom in
+      (* Entry block. *)
+      inserted := !inserted + boundary_at_head next_id (Cfg.entry_block f);
+      (* Loop headers. *)
+      List.iter
+        (fun h ->
+          inserted :=
+            !inserted + boundary_at_head next_id g.A.Fgraph.blocks.(h))
+        (A.Loops.headers loops);
+      (* Call-return blocks. *)
+      List.iter
+        (fun (b : Cfg.block) ->
+          match b.Cfg.term with
+          | Instr.Call (_, ret) ->
+              inserted :=
+                !inserted + boundary_at_head next_id (Cfg.find_block f ret)
+          | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> ())
+        f.Cfg.blocks;
+      (* I/O bracketing. *)
+      List.iter
+        (fun b -> inserted := !inserted + bracket_io next_id b)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  !inserted
+
+(* Is the load at [idx] in [body] WARAW-exempt: a store to provably the
+   same location earlier in the same block with no boundary in between, so
+   re-execution rewrites the location before re-reading it?  The store
+   must MUST-alias the load — a may-aliasing store (dynamic index) might
+   rewrite a different word and leave the re-read exposed. *)
+let waraw_exempt body idx m =
+  let must_alias j (w : Instr.mref) =
+    w.Instr.space.Instr.space_id = m.Instr.space.Instr.space_id
+    &&
+    match (w.Instr.disp, m.Instr.disp) with
+    | Instr.Dconst a, Instr.Dconst b -> a = b
+    | Instr.Dreg a, Instr.Dreg b ->
+        Reg.equal a b
+        && (* The index register must be unchanged between the store and
+              the load. *)
+        (let unchanged = ref true in
+         for k = j + 1 to idx - 1 do
+           if Reg.Set.mem a (Instr.defs body.(k)) then unchanged := false
+         done;
+         !unchanged)
+    | Instr.Dconst _, Instr.Dreg _ | Instr.Dreg _, Instr.Dconst _ -> false
+  in
+  let exempt = ref false in
+  (try
+     for j = idx - 1 downto 0 do
+       match body.(j) with
+       | i when is_boundary i -> raise Exit
+       | Instr.St (w, _) when must_alias j w -> begin
+           exempt := true;
+           raise Exit
+         end
+       | _ -> ()
+     done
+   with Exit -> ());
+  !exempt
+
+(* Find an aliasing store reachable from (blk, start_idx) without crossing a
+   boundary.  Returns its (block, index). *)
+let find_war_store (g : A.Fgraph.t) bodies blk start_idx m =
+  let visited = Array.make (A.Fgraph.n_blocks g) false in
+  let exception Found of int * int in
+  let rec scan_block bi from =
+    let body = bodies.(bi) in
+    let stop = ref false in
+    let i = ref from in
+    while (not !stop) && !i < Array.length body do
+      (match body.(!i) with
+      | instr when is_boundary instr -> stop := true
+      | Instr.St (w, _) when A.Alias.may_alias w m -> raise (Found (bi, !i))
+      | _ -> ());
+      incr i
+    done;
+    if not !stop then
+      match g.A.Fgraph.blocks.(bi).Cfg.term with
+      | Instr.Call _ | Instr.Ret | Instr.Halt -> ()
+      | Instr.Jmp _ | Instr.Br _ ->
+          List.iter
+            (fun s ->
+              if not visited.(s) then begin
+                visited.(s) <- true;
+                scan_block s 0
+              end)
+            g.A.Fgraph.succ.(bi)
+  in
+  try
+    scan_block blk start_idx;
+    None
+  with Found (b, i) -> Some (b, i)
+
+let find_violation (p : Cfg.program) =
+  let result = ref None in
+  (try
+     List.iter
+       (fun (f : Cfg.func) ->
+         let g = A.Fgraph.of_func f in
+         let bodies =
+           Array.map
+             (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs)
+             g.A.Fgraph.blocks
+         in
+         Array.iteri
+           (fun bi body ->
+             Array.iteri
+               (fun idx instr ->
+                 match Instr.mem_read instr with
+                 | Some m when not (waraw_exempt body idx m) -> (
+                     match find_war_store g bodies bi (idx + 1) m with
+                     | Some (sb, si) ->
+                         result := Some (f, g, bi, idx, sb, si, m);
+                         raise Exit
+                     | None -> ())
+                 | Some _ | None -> ())
+               body)
+           bodies)
+       p.Cfg.funcs
+   with Exit -> ());
+  !result
+
+let insert_in_block (b : Cfg.block) idx instr =
+  let rec go i = function
+    | rest when i = idx -> instr :: rest
+    | [] -> [ instr ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  b.Cfg.instrs <- go 0 b.Cfg.instrs
+
+let rec war_fixpoint next_id (p : Cfg.program) acc =
+  match find_violation p with
+  | None -> acc
+  | Some (f, g, _, _, sb, si, _) ->
+      let blk = g.A.Fgraph.blocks.(sb) in
+      ignore f;
+      insert_in_block blk si (fresh next_id);
+      war_fixpoint next_id p (acc + 1)
+
+let form ~next_id p =
+  let a = structural_pass next_id p in
+  let b = war_fixpoint next_id p 0 in
+  a + b
+
+let violations (p : Cfg.program) =
+  (* Report-only variant: collect every violating pair. *)
+  let out = ref [] in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let g = A.Fgraph.of_func f in
+      let bodies =
+        Array.map
+          (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs)
+          g.A.Fgraph.blocks
+      in
+      Array.iteri
+        (fun bi body ->
+          Array.iteri
+            (fun idx instr ->
+              match Instr.mem_read instr with
+              | Some m when not (waraw_exempt body idx m) -> (
+                  match find_war_store g bodies bi (idx + 1) m with
+                  | Some (sb, si) ->
+                      out :=
+                        Format.asprintf
+                          "%s: load %a at %s+%d anti-depends on store at %s+%d \
+                           with no boundary between"
+                          f.Cfg.fname Instr.pp_mref m
+                          g.A.Fgraph.blocks.(bi).Cfg.label idx
+                          g.A.Fgraph.blocks.(sb).Cfg.label si
+                        :: !out
+                  | None -> ())
+              | Some _ | None -> ())
+            body)
+        bodies)
+    p.Cfg.funcs;
+  List.rev !out

@@ -1,0 +1,26 @@
+(** Idempotent region formation (Section VI-B).
+
+    Inserts [Boundary] instructions so that every span executed between
+    two dynamic boundary crossings is idempotent:
+
+    - a boundary at every function entry;
+    - a boundary at every natural-loop header;
+    - boundaries immediately before and after every I/O instruction
+      (I/O must not silently replay across a whole region);
+    - a boundary at the start of every call-return block (callee entries
+      are covered by the function-entry rule);
+    - anti-dependence cuts: for every may-aliasing load→store pair
+      reachable without crossing a boundary, a boundary is inserted before
+      the store — unless the pair is WARAW-exempt (a store to the same
+      location precedes the load in the same block with no boundary in
+      between, so re-execution rewrites before re-reading).
+
+    The pass runs to a fixpoint and is idempotent: re-running it on an
+    already-formed program inserts nothing. *)
+
+val form : next_id:int ref -> Gecko_isa.Cfg.program -> int
+(** Returns the number of boundaries inserted. *)
+
+val violations : Gecko_isa.Cfg.program -> string list
+(** Human-readable list of remaining WAR violations (empty on a correctly
+    formed program) — the final verification pass. *)

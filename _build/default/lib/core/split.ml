@@ -1,0 +1,92 @@
+open Gecko_isa
+module A = Gecko_analysis
+
+let fresh next_id =
+  let id = !next_id in
+  incr next_id;
+  Instr.Boundary id
+
+let insert_in_block (b : Cfg.block) idx instr =
+  let rec go i = function
+    | rest when i = idx -> instr :: rest
+    | [] -> [ instr ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  b.Cfg.instrs <- go 0 b.Cfg.instrs
+
+(* Walk the worst-case path from [start] accumulating cost; insert a
+   boundary at the first point where the accumulated cost reaches
+   [target].  Returns true if an insertion happened. *)
+let cut_along_worst g wcet start target =
+  let rec walk (p : A.Fgraph.point) acc =
+    match A.Wcet.worst_successor wcet p with
+    | None -> None
+    | Some next ->
+        let cost =
+          match A.Fgraph.instr_at g p with
+          | Some i -> Cost.instr_cycles i
+          | None -> (
+              match g.A.Fgraph.blocks.(p.A.Fgraph.blk).Cfg.term with
+              | t -> Cost.term_cycles t)
+        in
+        let acc = acc + cost in
+        if acc >= target then Some next else walk next acc
+  in
+  walk start 0
+
+let by_wcet ~next_id ~budget ~ckpt_overhead (p : Cfg.program) =
+  let inserted = ref 0 in
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ do
+    incr rounds;
+    if !rounds > 10_000 then
+      invalid_arg "Split.by_wcet: did not converge (budget too small?)";
+    continue_ := false;
+    List.iter
+      (fun (f : Cfg.func) ->
+        let g = A.Fgraph.of_func f in
+        let wcet = A.Wcet.compute g in
+        let spans = A.Wcet.boundary_spans wcet in
+        let oversize =
+          List.find_opt (fun (_, _, span) -> span + ckpt_overhead > budget) spans
+        in
+        match oversize with
+        | None -> ()
+        | Some (_, bpoint, span) ->
+            let eff_budget = budget - ckpt_overhead in
+            if eff_budget <= 8 then
+              invalid_arg
+                (Printf.sprintf
+                   "Split.by_wcet: budget %d too small (checkpoint overhead %d)"
+                   budget ckpt_overhead);
+            let start =
+              { bpoint with A.Fgraph.idx = bpoint.A.Fgraph.idx + 1 }
+            in
+            let target = min (eff_budget / 2) (span / 2) in
+            let target = max target 1 in
+            (match cut_along_worst g wcet start target with
+            | Some cut_point ->
+                insert_in_block
+                  g.A.Fgraph.blocks.(cut_point.A.Fgraph.blk)
+                  cut_point.A.Fgraph.idx (fresh next_id);
+                incr inserted;
+                continue_ := true
+            | None ->
+                invalid_arg
+                  "Split.by_wcet: cannot find a cut point (single instruction \
+                   exceeds the budget?)"))
+      p.Cfg.funcs
+  done;
+  !inserted
+
+let max_span (p : Cfg.program) =
+  List.fold_left
+    (fun acc (f : Cfg.func) ->
+      let g = A.Fgraph.of_func f in
+      let wcet = A.Wcet.compute g in
+      List.fold_left
+        (fun acc (_, _, span) -> max acc span)
+        (max acc (A.Wcet.entry_span wcet))
+        (A.Wcet.boundary_spans wcet))
+    0 p.Cfg.funcs

@@ -1,0 +1,23 @@
+(** WCET-driven region splitting (Section VI-B, steps 3–4).
+
+    Each region must complete within one capacitor charge cycle.  The pass
+    compares every boundary's worst-case span (plus an estimate of the
+    checkpoint stores the scheme will add at the next boundary) against the
+    cycle budget of a full charge, and cuts oversized spans by inserting a
+    boundary roughly halfway along the worst-case path.  It loops back to
+    the WCET analysis until all regions fit.
+
+    Raises [Invalid_argument] if the budget is too small to make progress
+    (a single instruction plus checkpoint overhead exceeds it). *)
+
+val by_wcet :
+  next_id:int ref ->
+  budget:int ->
+  ckpt_overhead:int ->
+  Gecko_isa.Cfg.program ->
+  int
+(** Returns the number of boundaries inserted. *)
+
+val max_span : Gecko_isa.Cfg.program -> int
+(** Largest worst-case span over all boundaries of all functions (after
+    formation). *)

@@ -1,0 +1,64 @@
+open Gecko_isa
+
+let idempotence p =
+  match Regions.violations p with [] -> Ok () | errs -> Error errs
+
+let coloring p (meta : Meta.t) =
+  let cands = Candidates.compute p in
+  let vf = Valueflow.make p cands in
+  let site_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Candidates.site) ->
+      Hashtbl.replace site_tbl s.Candidates.s_id s)
+    cands.Candidates.sites;
+  let owned bid r =
+    match Meta.boundary_info meta bid with
+    | None -> None
+    | Some info ->
+        List.find_map
+          (fun (x : Meta.restore) ->
+            if Reg.equal x.Meta.r_reg r && x.Meta.r_owned then
+              Some (x.Meta.r_color, x.Meta.r_stable)
+            else None)
+          info.Meta.restores
+  in
+  let owned_color bid r = Option.map fst (owned bid r) in
+  let errs = ref [] in
+  List.iter
+    (fun r ->
+      let stops bid = owned_color bid r <> None in
+      let edges = Coloring.adjacency_for cands ~stops in
+      List.iter
+        (fun (b1, b2) ->
+          let same_value () =
+            match
+              (Hashtbl.find_opt site_tbl b1, Hashtbl.find_opt site_tbl b2)
+            with
+            | Some sa, Some sb ->
+                Valueflow.same_value_over_edge vf r ~src:sa ~dst:sb
+            | _ -> false
+          in
+          match (owned b1 r, owned b2 r) with
+          | Some (_, Some s1), Some (_, Some s2) when s1 = s2 ->
+              () (* same stability class: identical values, exempt *)
+          | Some (c1, _), Some (c2, _) when c1 = c2 && same_value () -> ()
+          | Some (c1, _), Some (c2, _) when c1 = c2 ->
+              errs :=
+                Printf.sprintf
+                  "stores %d -> %d both checkpoint %s into colour %d" b1 b2
+                  (Reg.to_string r) c1
+                :: !errs
+          | _ -> ())
+        edges)
+    Reg.all;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+let wcet ~budget p =
+  let over = Split.max_span p in
+  if over <= budget then Ok ()
+  else
+    Error
+      [
+        Printf.sprintf "worst-case region span %d cycles exceeds budget %d" over
+          budget;
+      ]

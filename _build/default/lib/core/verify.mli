@@ -1,0 +1,16 @@
+(** Final verification passes run after compilation (and used heavily by
+    the property-based tests). *)
+
+open Gecko_isa
+
+val idempotence : Cfg.program -> (unit, string list) result
+(** No memory anti-dependence survives without a boundary between the
+    load and the store (WARAW-exempt pairs aside). *)
+
+val coloring : Cfg.program -> Meta.t -> (unit, string list) result
+(** No two span-adjacent boundaries checkpoint the same register into the
+    same slot colour. *)
+
+val wcet : budget:int -> Cfg.program -> (unit, string list) result
+(** Every region span (with its emitted checkpoint stores) fits the
+    charge-cycle budget. *)

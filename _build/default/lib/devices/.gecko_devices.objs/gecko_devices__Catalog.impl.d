@@ -1,0 +1,1 @@
+lib/devices/catalog.ml: Coupling Device Gecko_emi Gecko_monitor List

@@ -1,0 +1,1 @@
+lib/devices/catalog.mli: Device

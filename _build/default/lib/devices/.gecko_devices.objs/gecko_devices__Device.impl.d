@@ -1,0 +1,1 @@
+lib/devices/device.ml: Gecko_emi Gecko_monitor Printf

@@ -1,0 +1,110 @@
+open Gecko_emi
+
+let msp430_core ~clock_hz ~reboot_latency =
+  {
+    Device.clock_hz;
+    active_power = clock_hz *. 0.36e-9;
+    (* ~120 uA/MHz at 3 V *)
+    sleep_power = 30e-6;
+    reboot_latency;
+    reboot_energy = reboot_latency *. clock_hz *. 0.36e-9 *. 1.0;
+    nvm_write_energy = 1.2e-9;
+    nvm_read_energy = 0.6e-9;
+  }
+
+let adc sample_period = Gecko_monitor.Monitor.Adc { sample_period }
+let comp latency = Gecko_monitor.Monitor.Comparator { latency }
+
+let peak = Coupling.peak
+
+let mk ~model ~clock_mhz ~reboot_ms ~sample_us ~adc_peaks ?comp_cfg () =
+  let core =
+    msp430_core ~clock_hz:(clock_mhz *. 1e6) ~reboot_latency:(reboot_ms *. 1e-3)
+  in
+  let comp_kind, comp_profile =
+    match comp_cfg with
+    | Some (latency_us, peaks) ->
+        (Some (comp (latency_us *. 1e-6)), Some (Coupling.profile peaks))
+    | None -> (None, None)
+  in
+  {
+    Device.model;
+    core;
+    adc_kind = adc (sample_us *. 1e-6);
+    adc_profile = Coupling.profile adc_peaks;
+    comp_kind;
+    comp_profile;
+  }
+
+(* The dominant ADC resonance sits at ~27 MHz on MSP430-family boards
+   (Table I); per-device gain and sampling cadence set the depth of the
+   forward-progress collapse. *)
+let res27 gain = peak ~f0_mhz:27. ~half_width_mhz:6. ~gain
+
+let msp430fr2311 =
+  mk ~model:"TI-MSP430FR2311" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:64.
+    ~adc_peaks:[ res27 3.2 ] ()
+
+let msp430fr2433 =
+  mk ~model:"TI-MSP430FR2433" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:88.
+    ~adc_peaks:[ res27 3.1 ] ()
+
+let msp430fr4133 =
+  mk ~model:"TI-MSP430FR4133" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:75.
+    ~adc_peaks:[ peak ~f0_mhz:27.7 ~half_width_mhz:6. ~gain:3.2 ] ()
+
+let msp430f5529 =
+  mk ~model:"TI-MSP430F5529" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:83.
+    ~adc_peaks:[ res27 3.0; peak ~f0_mhz:16. ~half_width_mhz:3. ~gain:3.3 ]
+    ()
+
+let msp430fr5739 =
+  mk ~model:"TI-MSP430FR5739" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:37.
+    ~adc_peaks:[ res27 2.4 ] ()
+
+let msp430fr5994 =
+  mk ~model:"TI-MSP430FR5994" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:83.
+    ~adc_peaks:[ res27 3.0 ]
+    ~comp_cfg:
+      ( 0.5,
+        [
+          peak ~f0_mhz:5. ~half_width_mhz:0.8 ~gain:3.4;
+          peak ~f0_mhz:6. ~half_width_mhz:0.8 ~gain:3.3;
+        ] )
+    ()
+
+let msp430fr6989 =
+  mk ~model:"TI-MSP430FR6989" ~clock_mhz:8. ~reboot_ms:0.5 ~sample_us:75.
+    ~adc_peaks:[ res27 3.1 ]
+    ~comp_cfg:(0.6, [ peak ~f0_mhz:27. ~half_width_mhz:4. ~gain:3.2 ])
+    ()
+
+let msp432p =
+  mk ~model:"TI-MSP432P (cortex-m4)" ~clock_mhz:16. ~reboot_ms:0.5
+    ~sample_us:68. ~adc_peaks:[ res27 3.0 ] ()
+
+let stm32l552ze =
+  mk ~model:"STM32L552ZE (cortex-m33)" ~clock_mhz:16. ~reboot_ms:0.5
+    ~sample_us:100.
+    ~adc_peaks:[ peak ~f0_mhz:17.5 ~half_width_mhz:4. ~gain:3.1 ]
+    ()
+
+let all =
+  [
+    msp430fr2311;
+    msp430fr2433;
+    msp430fr4133;
+    msp430f5529;
+    msp430fr5739;
+    msp430fr5994;
+    msp430fr6989;
+    msp432p;
+    stm32l552ze;
+  ]
+
+let find model =
+  match List.find_opt (fun d -> d.Device.model = model) all with
+  | Some d -> d
+  | None -> raise Not_found
+
+let evaluation_board = msp430fr5994

@@ -1,0 +1,25 @@
+(** The nine commodity platforms evaluated in Table I of the paper.
+
+    Coupling peak frequencies and relative susceptibilities are calibrated
+    to the table's measurements (see DESIGN.md, substitution table);
+    everything else is derived from public datasheet figures. *)
+
+val msp430fr2311 : Device.t
+val msp430fr2433 : Device.t
+val msp430fr4133 : Device.t
+val msp430f5529 : Device.t
+val msp430fr5739 : Device.t
+val msp430fr5994 : Device.t
+val msp430fr6989 : Device.t
+val msp432p : Device.t
+val stm32l552ze : Device.t
+
+val all : Device.t list
+(** All nine, in Table I order. *)
+
+val find : string -> Device.t
+(** Lookup by model name; raises [Not_found]. *)
+
+val evaluation_board : Device.t
+(** The board used in the paper's evaluation (MSP430FR5994, Section
+    VII-A). *)

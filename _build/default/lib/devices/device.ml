@@ -1,0 +1,43 @@
+type core_params = {
+  clock_hz : float;
+  active_power : float;
+  sleep_power : float;
+  reboot_latency : float;
+  reboot_energy : float;
+  nvm_write_energy : float;
+  nvm_read_energy : float;
+}
+
+type t = {
+  model : string;
+  core : core_params;
+  adc_kind : Gecko_monitor.Monitor.kind;
+  adc_profile : Gecko_emi.Coupling.profile;
+  comp_kind : Gecko_monitor.Monitor.kind option;
+  comp_profile : Gecko_emi.Coupling.profile option;
+}
+
+type monitor_choice = Use_adc | Use_comparator
+
+let monitor_kind t = function
+  | Use_adc -> t.adc_kind
+  | Use_comparator -> (
+      match t.comp_kind with
+      | Some k -> k
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Device.monitor_kind: %s has no comparator" t.model))
+
+let coupling t = function
+  | Use_adc -> t.adc_profile
+  | Use_comparator -> (
+      match t.comp_profile with
+      | Some p -> p
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Device.coupling: %s has no comparator" t.model))
+
+let has_comparator t = t.comp_kind <> None
+
+let cycle_time t = 1. /. t.core.clock_hz
+let energy_per_cycle t = t.core.active_power /. t.core.clock_hz

@@ -1,0 +1,44 @@
+(** Commodity intermittent-system platform descriptions.
+
+    Each device bundles the electrical personality the simulator needs:
+    clock and power figures for the MCU core, voltage-monitor construction
+    (sampling period / comparator latency), and — crucially — the EMI
+    coupling profiles of its monitor front ends.  The coupling profiles are
+    calibrated against Table I of the paper: peak attack frequencies and
+    relative susceptibility were measured on real boards there, and are the
+    one thing this reproduction cannot derive from first principles. *)
+
+type core_params = {
+  clock_hz : float;
+  active_power : float;  (** W while the core executes. *)
+  sleep_power : float;  (** W in the off/LPM state (leakage). *)
+  reboot_latency : float;  (** s from wake signal to first instruction. *)
+  reboot_energy : float;  (** J consumed by a boot (BOR, clock start). *)
+  nvm_write_energy : float;  (** J per NVM word write. *)
+  nvm_read_energy : float;  (** J per NVM word read. *)
+}
+
+type t = {
+  model : string;
+  core : core_params;
+  adc_kind : Gecko_monitor.Monitor.kind;
+  adc_profile : Gecko_emi.Coupling.profile;
+  comp_kind : Gecko_monitor.Monitor.kind option;
+  comp_profile : Gecko_emi.Coupling.profile option;
+      (** Present only on parts with an on-board comparator monitor. *)
+}
+
+type monitor_choice = Use_adc | Use_comparator
+
+val monitor_kind : t -> monitor_choice -> Gecko_monitor.Monitor.kind
+(** Raises [Invalid_argument] if the device has no comparator. *)
+
+val coupling : t -> monitor_choice -> Gecko_emi.Coupling.profile
+
+val has_comparator : t -> bool
+
+val cycle_time : t -> float
+(** Seconds per clock cycle. *)
+
+val energy_per_cycle : t -> float
+(** Active energy per cycle (J). *)

@@ -1,0 +1,1 @@
+lib/emi/attack.ml: Coupling Format Printf Signal

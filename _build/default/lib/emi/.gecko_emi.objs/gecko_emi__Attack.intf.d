@@ -1,0 +1,1 @@
+lib/emi/attack.mli: Coupling Format Signal

@@ -1,0 +1,1 @@
+lib/emi/coupling.ml: List

@@ -1,0 +1,1 @@
+lib/emi/schedule.ml: Attack List

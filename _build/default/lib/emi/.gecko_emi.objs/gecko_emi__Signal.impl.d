@@ -1,0 +1,1 @@
+lib/emi/signal.ml: Format

@@ -1,0 +1,1 @@
+lib/emi/signal.mli: Format

@@ -1,0 +1,33 @@
+(** An EMI attack instance: a signal plus how it reaches the victim.
+
+    Remote attacks are attenuated by free-space propagation through
+    walls/windows; DPI experiments inject conducted power at a circuit
+    node (Fig. 3), with point P2 (capacitor/monitor node) coupling more
+    directly and over a broader band than P1 (power-line node). *)
+
+type injection_point = P1 | P2
+
+type path =
+  | Remote of { distance_m : float; through_wall : bool }
+  | Dpi of injection_point
+
+type t = { signal : Signal.t; path : path }
+
+val remote : ?through_wall:bool -> distance_m:float -> Signal.t -> t
+val dpi : injection_point -> Signal.t -> t
+
+val path_attenuation : t -> float
+(** Field attenuation factor (1.0 at the 0.1 m reference distance). *)
+
+val induced_amplitude : profile:Coupling.profile -> t -> float
+(** Peak disturbance amplitude (volts) superimposed on the voltage-monitor
+    input.  Proportional to the square root of the transmitted power
+    (V ∝ E-field ∝ √P), to the coupling gain at the signal frequency, and
+    to the path attenuation. *)
+
+val harvestable_power : t -> float
+(** RF power (watts) the victim's energy harvester collects from the attack
+    signal itself (Section VI-A discussion: attack signals are stored in
+    the capacitor as ambient energy). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type peak = { f0_mhz : float; half_width_mhz : float; gain : float }
+
+type profile = { peaks : peak list; lowpass_mhz : float; base_gain : float }
+
+let peak ~f0_mhz ~half_width_mhz ~gain =
+  if f0_mhz <= 0. || half_width_mhz <= 0. || gain < 0. then
+    invalid_arg "Coupling.peak: bad parameters";
+  { f0_mhz; half_width_mhz; gain }
+
+let profile ?(base_gain = 0.001) ?(lowpass_mhz = 45.) peaks =
+  { peaks; lowpass_mhz; base_gain }
+
+let gain p ~freq_hz =
+  let f = freq_hz /. 1e6 in
+  let resonant =
+    List.fold_left
+      (fun acc pk ->
+        let x = (f -. pk.f0_mhz) /. pk.half_width_mhz in
+        acc +. (pk.gain /. (1. +. (x *. x))))
+      0. p.peaks
+  in
+  (* Fourth-order roll-off: the front end simply does not pass VHF+. *)
+  let rolloff =
+    let r = f /. p.lowpass_mhz in
+    1. /. (1. +. (r ** 4.))
+  in
+  (p.base_gain +. resonant) *. rolloff
+
+let peak_frequency_mhz p =
+  let best = ref 1. and best_g = ref neg_infinity in
+  for i = 1 to 1000 do
+    let f = float_of_int i in
+    let g = gain p ~freq_hz:(f *. 1e6) in
+    if g > !best_g then begin
+      best_g := g;
+      best := f
+    end
+  done;
+  !best

@@ -1,0 +1,28 @@
+(** Frequency-selective coupling of EMI into a voltage-monitor front end.
+
+    Low-power MCU boards lack input filtering, so an injected tone couples
+    into the monitor input with a gain that peaks at the resonant
+    frequencies of the PCB trace / external capacitor network (Section
+    II-D).  We model the gain as a sum of Lorentzian resonances under a
+    low-pass roll-off; above roughly 50 MHz the paper observed no effect on
+    any platform, which the roll-off reproduces. *)
+
+type peak = { f0_mhz : float; half_width_mhz : float; gain : float }
+(** One resonance: response [gain / (1 + ((f - f0)/hw)^2)]. *)
+
+type profile = {
+  peaks : peak list;
+  lowpass_mhz : float;  (** -3 dB-style corner of the front-end roll-off. *)
+  base_gain : float;  (** Broadband floor. *)
+}
+
+val peak : f0_mhz:float -> half_width_mhz:float -> gain:float -> peak
+
+val profile :
+  ?base_gain:float -> ?lowpass_mhz:float -> peak list -> profile
+
+val gain : profile -> freq_hz:float -> float
+(** Dimensionless voltage coupling gain at the given frequency. *)
+
+val peak_frequency_mhz : profile -> float
+(** Frequency of maximum gain over a 1–1000 MHz scan. *)

@@ -1,0 +1,31 @@
+type window = { t_start : float; t_end : float; attack : Attack.t }
+
+type t = window list (* sorted by t_start *)
+
+let empty = []
+
+let window ~t_start ~t_end attack =
+  if t_end <= t_start then invalid_arg "Schedule.window: empty window";
+  { t_start; t_end; attack }
+
+let make windows =
+  let sorted = List.sort (fun a b -> compare a.t_start b.t_start) windows in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.t_end > b.t_start then
+          invalid_arg "Schedule.make: overlapping windows"
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let always attack = [ { t_start = 0.; t_end = infinity; attack } ]
+
+let active t time =
+  List.find_map
+    (fun w ->
+      if time >= w.t_start && time < w.t_end then Some w.attack else None)
+    t
+
+let windows t = t

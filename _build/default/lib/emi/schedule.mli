@@ -1,0 +1,24 @@
+(** Time-varying attack scenarios.
+
+    Fig. 9 and Fig. 13 of the paper drive the victim with attacks that
+    start and stop at chosen times (and change frequency to modulate
+    aggressiveness).  A schedule is a list of windows. *)
+
+type window = { t_start : float; t_end : float; attack : Attack.t }
+
+type t
+
+val empty : t
+
+val make : window list -> t
+(** Windows may not overlap; raises [Invalid_argument] if they do. *)
+
+val window : t_start:float -> t_end:float -> Attack.t -> window
+
+val always : Attack.t -> t
+(** The attack is active for the whole run. *)
+
+val active : t -> float -> Attack.t option
+(** The attack active at a given simulation time, if any. *)
+
+val windows : t -> window list

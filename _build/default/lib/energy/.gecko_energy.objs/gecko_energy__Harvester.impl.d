@@ -1,0 +1,1 @@
+lib/energy/harvester.ml: Array Float Gecko_util

@@ -1,0 +1,42 @@
+type t = { capacitance : float; v_max : float; mutable voltage : float }
+
+let create ~capacitance ~v_max ~v_init =
+  if capacitance <= 0. then invalid_arg "Capacitor.create: capacitance <= 0";
+  if v_init < 0. || v_init > v_max then
+    invalid_arg "Capacitor.create: v_init out of range";
+  { capacitance; v_max; voltage = v_init }
+
+let capacitance t = t.capacitance
+let voltage t = t.voltage
+let v_max t = t.v_max
+let energy t = 0.5 *. t.capacitance *. t.voltage *. t.voltage
+
+let energy_between t ~v_hi ~v_lo =
+  0.5 *. t.capacitance *. ((v_hi *. v_hi) -. (v_lo *. v_lo))
+
+let set_voltage t v =
+  if v < 0. || v > t.v_max then invalid_arg "Capacitor.set_voltage: out of range";
+  t.voltage <- v
+
+let drain t joules =
+  if joules <= 0. then 0.
+  else
+    let e = energy t in
+    let removed = min joules e in
+    let e' = e -. removed in
+    t.voltage <- sqrt (2. *. e' /. t.capacitance);
+    removed
+
+let source_current t ~amps ~dt =
+  if amps > 0. && dt > 0. then begin
+    let dv = amps *. dt /. t.capacitance in
+    t.voltage <- min t.v_max (t.voltage +. dv)
+  end
+
+let charge_time_rc ~capacitance ~v_source ~r_source ~v_from ~v_to =
+  if v_to >= v_source then infinity
+  else if v_to <= v_from then 0.
+  else
+    (* V(t) = Vs - (Vs - V0) e^{-t/RC} *)
+    r_source *. capacitance
+    *. log ((v_source -. v_from) /. (v_source -. v_to))

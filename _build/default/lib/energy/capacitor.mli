@@ -1,0 +1,36 @@
+(** Energy-buffer capacitor.
+
+    The capacitor is the single energy store of an intermittent system
+    (Fig. 1 of the paper).  Stored energy is E = ½·C·V²; the MCU drains
+    energy per cycle, the harvester sources current.  Voltage is clamped to
+    [0, v_max]. *)
+
+type t
+
+val create : capacitance:float -> v_max:float -> v_init:float -> t
+(** [capacitance] in farads, voltages in volts. *)
+
+val capacitance : t -> float
+val voltage : t -> float
+val v_max : t -> float
+
+val energy : t -> float
+(** Stored energy in joules. *)
+
+val energy_between : t -> v_hi:float -> v_lo:float -> float
+(** Energy released when discharging from [v_hi] to [v_lo]:
+    ½·C·(v_hi² − v_lo²). *)
+
+val set_voltage : t -> float -> unit
+
+val drain : t -> float -> float
+(** [drain t joules] removes up to [joules]; returns the energy actually
+    removed (less if the capacitor empties). *)
+
+val source_current : t -> amps:float -> dt:float -> unit
+(** Integrate a charging current over [dt] seconds. *)
+
+val charge_time_rc :
+  capacitance:float -> v_source:float -> r_source:float -> v_from:float -> v_to:float -> float
+(** Analytic RC charge time from [v_from] to [v_to] through [r_source] from
+    a Thévenin source at [v_source].  Infinite if [v_to >= v_source]. *)

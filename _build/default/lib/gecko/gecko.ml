@@ -1,0 +1,50 @@
+(** GECKO — defending intermittent systems against EMI attacks on the
+    just-in-time checkpoint protocol (MICRO 2024 reproduction).
+
+    This facade re-exports the public API:
+
+    - {!Isa}: the MCU instruction set, CFG program form, builder, linker;
+    - {!Analysis}: dataflow analyses (dominators, liveness, reaching
+      definitions, alias, WCET);
+    - {!Compiler}: the GECKO compiler — region formation, checkpoint
+      pruning, slot colouring, recovery metadata — and the detection
+      policy;
+    - {!Machine}/{!Board}: the intermittent-system simulator;
+    - {!Energy}, {!Emi}, {!Monitor}, {!Devices}: the physical substrates;
+    - {!Workloads}: the benchmark suite;
+    - {!Experiments}: every table/figure of the paper's evaluation.
+
+    Quickstart:
+    {[
+      let prog = Gecko.Workloads.find "crc32" in
+      let p, meta =
+        Gecko.Compiler.Pipeline.compile Gecko.Compiler.Scheme.Gecko
+          (prog.Gecko.Workloads.build ())
+      in
+      let image = Gecko.Isa.Link.link p in
+      let board = Gecko.Board.default () in
+      let outcome =
+        Gecko.Machine.run ~board ~image ~meta
+          Gecko.Machine.default_options
+      in
+      assert (outcome.Gecko.Machine.completions = 1)
+    ]} *)
+
+module Util = Gecko_util
+module Isa = Gecko_isa
+module Mem = Gecko_mem
+module Energy = Gecko_energy
+module Emi = Gecko_emi
+module Monitor = Gecko_monitor.Monitor
+module Devices = Gecko_devices
+module Analysis = Gecko_analysis
+module Compiler = Gecko_core
+module Machine = Gecko_machine.Machine
+module Board = Gecko_machine.Board
+
+module Workloads = struct
+  include Gecko_workloads.Workload
+end
+
+module Experiments = Gecko_harness.Experiments
+module Workbench = Gecko_harness.Workbench

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Attack Buffer Float Gecko_core Gecko_devices Gecko_emi Gecko_energy Gecko_isa Gecko_machine Gecko_util Gecko_workloads List Printf Schedule Signal Workbench

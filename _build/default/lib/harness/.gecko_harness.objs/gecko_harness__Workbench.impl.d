@@ -1,0 +1,1 @@
+lib/harness/workbench.ml: Builder Cfg Gecko_core Gecko_emi Gecko_isa Gecko_machine Hashtbl Instr Link Reg Schedule

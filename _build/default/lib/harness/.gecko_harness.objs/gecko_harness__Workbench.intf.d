@@ -1,0 +1,1 @@
+lib/harness/workbench.mli: Attack Cfg Gecko_core Gecko_emi Gecko_isa Gecko_machine Link Schedule

@@ -1,0 +1,68 @@
+open Gecko_isa
+open Gecko_emi
+module B = Builder
+module M = Gecko_machine.Machine
+module Board = Gecko_machine.Board
+module Core = Gecko_core
+
+let sense_app () =
+  let b = B.program "sense_app" in
+  let buf = B.space b "buf" ~words:16 () in
+  let stats = B.space b "stats" ~words:2 () in
+  B.func b "main";
+  B.block b "entry";
+  B.li b Reg.r0 0;
+  B.li b Reg.r3 0;
+  B.block b "loop" ~loop_bound:4;
+  (* Burst-sample four readings, then filter and store them. *)
+  for _ = 1 to 4 do
+    B.io_in b Reg.r1 0;
+    B.bin b Instr.And Reg.r1 Reg.r1 (B.imm 1023);
+    B.bin b Instr.Mul Reg.r2 Reg.r1 (B.imm 3);
+    B.bin b Instr.Shr Reg.r2 Reg.r2 (B.imm 2);
+    B.bin b Instr.Add Reg.r3 Reg.r3 (B.reg Reg.r2);
+    B.st b (B.idx buf Reg.r0) Reg.r2;
+    B.add b Reg.r0 Reg.r0 (B.imm 1)
+  done;
+  B.bin b Instr.Slt Reg.r4 Reg.r0 (B.imm 16);
+  B.br b Instr.Nz Reg.r4 "loop" "report";
+  B.block b "report";
+  B.st b (B.at stats 0) Reg.r3;
+  B.io_out b 1 Reg.r3;
+  B.halt b;
+  B.finish b
+
+let cache : (string * Core.Scheme.t, Link.image * Core.Meta.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let compiled scheme (prog : Cfg.program) =
+  let key = (prog.Cfg.pname, scheme) in
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      let p, meta = Core.Pipeline.compile scheme prog in
+      let v = (Link.link p, meta) in
+      Hashtbl.replace cache key v;
+      v
+
+let run_nvp_progress ~board ~schedule ~duration =
+  let image, meta = compiled Core.Scheme.Nvp (sense_app ()) in
+  M.run ~board ~image ~meta
+    {
+      M.default_options with
+      schedule;
+      limit = M.Sim_time duration;
+      restart_on_halt = true;
+      max_sim_time = duration +. 1.;
+    }
+
+let progress_rate ~board ~attack ~duration =
+  let schedule =
+    match attack with Some a -> Schedule.always a | None -> Schedule.empty
+  in
+  let o = run_nvp_progress ~board ~schedule ~duration in
+  let r = M.forward_progress o in
+  let baseline =
+    M.forward_progress (run_nvp_progress ~board ~schedule:Schedule.empty ~duration)
+  in
+  if baseline <= 0. then 0. else min 1.0 (r /. baseline)

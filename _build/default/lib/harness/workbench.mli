@@ -1,0 +1,27 @@
+(** Shared pieces of the experiment harness: the victim application used
+    in the attack studies, compile/link caching, and common run
+    helpers. *)
+
+open Gecko_isa
+open Gecko_emi
+
+val sense_app : unit -> Cfg.program
+(** The canonical intermittent application of the attack experiments: an
+    endless sense–process–report loop (Section III, "Applications"). *)
+
+val compiled :
+  Gecko_core.Scheme.t -> Cfg.program -> Link.image * Gecko_core.Meta.t
+(** Compile and link (memoized on program name + scheme). *)
+
+val run_nvp_progress :
+  board:Gecko_machine.Board.t ->
+  schedule:Schedule.t ->
+  duration:float ->
+  Gecko_machine.Machine.outcome
+(** Run the sense app under NVP for [duration] seconds of simulated time
+    and report the outcome (forward-progress studies). *)
+
+val progress_rate :
+  board:Gecko_machine.Board.t -> attack:Attack.t option -> duration:float -> float
+(** Forward-progress rate R of the NVP sense app, normalized to the
+    attack-free rate on the same board (1.0 = unimpeded). *)

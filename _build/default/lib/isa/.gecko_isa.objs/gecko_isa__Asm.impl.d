@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Cfg In_channel Instr List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/cfg.ml: Format Hashtbl Instr List Printf

@@ -1,0 +1,1 @@
+lib/isa/link.ml: Array Buffer Cfg Format Hashtbl Instr List Printf Reg

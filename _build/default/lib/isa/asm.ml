@@ -1,0 +1,337 @@
+(* Hand-rolled line-oriented assembler/disassembler for the ISA. *)
+
+let binop_names =
+  [
+    (Instr.Add, "add"); (Instr.Sub, "sub"); (Instr.Mul, "mul");
+    (Instr.Div, "div"); (Instr.Rem, "rem"); (Instr.And, "and");
+    (Instr.Or, "or"); (Instr.Xor, "xor"); (Instr.Shl, "shl");
+    (Instr.Shr, "shr"); (Instr.Sra, "sra"); (Instr.Slt, "slt");
+    (Instr.Sle, "sle"); (Instr.Seq, "seq"); (Instr.Sne, "sne");
+  ]
+
+let cond_names =
+  [
+    (Instr.Z, "z"); (Instr.Nz, "nz"); (Instr.Ltz, "ltz");
+    (Instr.Gez, "gez"); (Instr.Gtz, "gtz"); (Instr.Lez, "lez");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mref_str (m : Instr.mref) =
+  match m.Instr.disp with
+  | Instr.Dconst c -> Printf.sprintf "%s[%d]" m.Instr.space.Instr.space_name c
+  | Instr.Dreg r -> Printf.sprintf "%s[%s]" m.Instr.space.Instr.space_name (Reg.to_string r)
+
+let operand_str = function
+  | Instr.Oreg r -> Reg.to_string r
+  | Instr.Oimm i -> string_of_int i
+
+let instr_str = function
+  | Instr.Li (d, v) -> Printf.sprintf "li    %s, %d" (Reg.to_string d) v
+  | Instr.Mov (d, s) ->
+      Printf.sprintf "mov   %s, %s" (Reg.to_string d) (Reg.to_string s)
+  | Instr.Bin (op, d, a, b) ->
+      Printf.sprintf "%-5s %s, %s, %s" (List.assoc op binop_names)
+        (Reg.to_string d) (Reg.to_string a) (operand_str b)
+  | Instr.Ld (d, m) -> Printf.sprintf "ld    %s, %s" (Reg.to_string d) (mref_str m)
+  | Instr.St (m, s) -> Printf.sprintf "st    %s, %s" (mref_str m) (Reg.to_string s)
+  | Instr.In (d, p) -> Printf.sprintf "in    %s, port%d" (Reg.to_string d) p
+  | Instr.Out (p, s) -> Printf.sprintf "out   port%d, %s" p (Reg.to_string s)
+  | Instr.Nop -> "nop"
+  | Instr.Ckpt (r, c) -> Printf.sprintf "ckpt  %s, %d" (Reg.to_string r) c
+  | Instr.CkptDyn r -> Printf.sprintf "ckptd %s" (Reg.to_string r)
+  | Instr.LdSlot (d, src, c) ->
+      Printf.sprintf "ldslot %s, r%d, %d" (Reg.to_string d) src c
+  | Instr.Boundary id -> Printf.sprintf "boundary %d" id
+
+let term_str = function
+  | Instr.Jmp l -> Printf.sprintf "jmp   %s" l
+  | Instr.Br (c, r, t, e) ->
+      Printf.sprintf "br.%-3s %s, %s, %s" (List.assoc c cond_names)
+        (Reg.to_string r) t e
+  | Instr.Call (f, ret) -> Printf.sprintf "call  %s, %s" f ret
+  | Instr.Ret -> "ret"
+  | Instr.Halt -> "halt"
+
+let to_string (p : Cfg.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".program %s\n" p.Cfg.pname);
+  List.iter
+    (fun (s : Instr.space) ->
+      let init =
+        match List.assoc_opt s.Instr.space_id p.Cfg.init_data with
+        | Some a when Array.length a > 0 ->
+            " init "
+            ^ String.concat " " (Array.to_list (Array.map string_of_int a))
+        | Some _ | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf ".space %s %d%s\n" s.Instr.space_name
+           s.Instr.space_words init))
+    p.Cfg.spaces;
+  List.iter
+    (fun (f : Cfg.func) ->
+      Buffer.add_string buf (Printf.sprintf "\n.func %s\n" f.Cfg.fname);
+      List.iter
+        (fun (b : Cfg.block) ->
+          (match b.Cfg.loop_bound with
+          | Some n -> Buffer.add_string buf (Printf.sprintf "%s [%d]:\n" b.Cfg.label n)
+          | None -> Buffer.add_string buf (Printf.sprintf "%s:\n" b.Cfg.label));
+          List.iter
+            (fun i -> Buffer.add_string buf ("    " ^ instr_str i ^ "\n"))
+            b.Cfg.instrs;
+          Buffer.add_string buf ("    " ^ term_str b.Cfg.term ^ "\n"))
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokens s =
+  String.split_on_char ' ' (String.map (function '\t' | ',' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected integer, got %S" s
+
+let parse_reg line s =
+  if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 && i < Reg.count -> Reg.of_int i
+    | Some _ | None -> fail line "bad register %S" s
+  else fail line "expected register, got %S" s
+
+let parse_operand line s =
+  if String.length s >= 2 && s.[0] = 'r' && int_of_string_opt (String.sub s 1 (String.length s - 1)) <> None
+  then Instr.Oreg (parse_reg line s)
+  else Instr.Oimm (parse_int line s)
+
+let parse_port line s =
+  let prefix = "port" in
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    parse_int line (String.sub s pl (String.length s - pl))
+  else fail line "expected portN, got %S" s
+
+(* space[idx] *)
+let parse_mref line spaces s =
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some l, Some r when r = String.length s - 1 && l > 0 ->
+      let name = String.sub s 0 l in
+      let idx = String.sub s (l + 1) (r - l - 1) in
+      let space =
+        match
+          List.find_opt (fun (sp : Instr.space) -> sp.Instr.space_name = name) spaces
+        with
+        | Some sp -> sp
+        | None -> fail line "unknown space %S" name
+      in
+      let disp =
+        if String.length idx >= 2 && idx.[0] = 'r'
+           && int_of_string_opt (String.sub idx 1 (String.length idx - 1)) <> None
+        then Instr.Dreg (parse_reg line idx)
+        else Instr.Dconst (parse_int line idx)
+      in
+      { Instr.space; disp }
+  | _ -> fail line "expected space[index], got %S" s
+
+type st = {
+  mutable pname : string option;
+  mutable spaces : Instr.space list; (* reversed *)
+  mutable init_data : (int * int array) list;
+  mutable funcs : Cfg.func list; (* reversed *)
+  mutable cur_func : (string * Cfg.block list ref) option; (* blocks reversed *)
+  mutable cur_label : (string * int option) option;
+  mutable cur_instrs : Instr.t list; (* reversed *)
+}
+
+let close_block line st term =
+  match st.cur_label with
+  | None -> fail line "instruction outside a block"
+  | Some (label, loop_bound) -> (
+      match st.cur_func with
+      | None -> fail line "block outside a function"
+      | Some (_, blocks) ->
+          blocks :=
+            {
+              Cfg.label;
+              instrs = List.rev st.cur_instrs;
+              term;
+              loop_bound;
+            }
+            :: !blocks;
+          st.cur_label <- None;
+          st.cur_instrs <- [])
+
+let close_func line st =
+  (if st.cur_label <> None then fail line "unterminated block at end of function");
+  match st.cur_func with
+  | None -> ()
+  | Some (fname, blocks) ->
+      st.funcs <- { Cfg.fname; blocks = List.rev !blocks } :: st.funcs;
+      st.cur_func <- None
+
+let rev_find_map f l = List.find_map f l
+
+let parse text =
+  let st =
+    {
+      pname = None;
+      spaces = [];
+      init_data = [];
+      funcs = [];
+      cur_func = None;
+      cur_label = None;
+      cur_instrs = [];
+    }
+  in
+  let next_space_id = ref 0 in
+  try
+    List.iteri
+      (fun i raw ->
+        let line = i + 1 in
+        let s = String.trim (strip_comment raw) in
+        if s = "" then ()
+        else if String.length s > 0 && s.[0] = '.' then begin
+          match tokens s with
+          | [ ".program"; name ] -> st.pname <- Some name
+          | ".space" :: name :: words :: rest ->
+              let space =
+                {
+                  Instr.space_name = name;
+                  space_id = !next_space_id;
+                  space_words = parse_int line words;
+                }
+              in
+              incr next_space_id;
+              st.spaces <- space :: st.spaces;
+              (match rest with
+              | "init" :: vals ->
+                  st.init_data <-
+                    ( space.Instr.space_id,
+                      Array.of_list (List.map (parse_int line) vals) )
+                    :: st.init_data
+              | [] -> ()
+              | _ -> fail line "bad .space directive")
+          | [ ".func"; name ] ->
+              close_func line st;
+              st.cur_func <- Some (name, ref [])
+          | _ -> fail line "unknown directive %S" s
+        end
+        else if s.[String.length s - 1] = ':' then begin
+          let head = String.sub s 0 (String.length s - 1) in
+          (* Implicit fall-through: an unterminated block jumps to the
+             new label, mirroring the builder's convenience. *)
+          (match (st.cur_label, tokens head) with
+          | Some _, (next :: _) -> close_block line st (Instr.Jmp next)
+          | Some _, [] -> fail line "bad label %S" s
+          | None, _ -> ());
+          match tokens head with
+          | [ label ] -> st.cur_label <- Some (label, None)
+          | [ label; bound ]
+            when String.length bound > 2
+                 && bound.[0] = '['
+                 && bound.[String.length bound - 1] = ']' ->
+              let n =
+                parse_int line (String.sub bound 1 (String.length bound - 2))
+              in
+              st.cur_label <- Some (label, Some n)
+          | _ -> fail line "bad label %S" s
+        end
+        else begin
+          let spaces = List.rev st.spaces in
+          let emit ins = st.cur_instrs <- ins :: st.cur_instrs in
+          match tokens s with
+          | [ "li"; d; v ] -> emit (Instr.Li (parse_reg line d, parse_int line v))
+          | [ "mov"; d; x ] -> emit (Instr.Mov (parse_reg line d, parse_reg line x))
+          | [ op; d; a; b ]
+            when rev_find_map
+                   (fun (o, n) -> if n = op then Some o else None)
+                   binop_names
+                 <> None ->
+              let o =
+                Option.get
+                  (rev_find_map
+                     (fun (o, n) -> if n = op then Some o else None)
+                     binop_names)
+              in
+              emit
+                (Instr.Bin (o, parse_reg line d, parse_reg line a, parse_operand line b))
+          | [ "ld"; d; m ] -> emit (Instr.Ld (parse_reg line d, parse_mref line spaces m))
+          | [ "st"; m; x ] -> emit (Instr.St (parse_mref line spaces m, parse_reg line x))
+          | [ "in"; d; p ] -> emit (Instr.In (parse_reg line d, parse_port line p))
+          | [ "out"; p; x ] -> emit (Instr.Out (parse_port line p, parse_reg line x))
+          | [ "nop" ] -> emit Instr.Nop
+          | [ "ckpt"; r; c ] ->
+              emit (Instr.Ckpt (parse_reg line r, parse_int line c))
+          | [ "ckptd"; r ] -> emit (Instr.CkptDyn (parse_reg line r))
+          | [ "ldslot"; d; r; c ] ->
+              emit
+                (Instr.LdSlot
+                   ( parse_reg line d,
+                     Reg.to_int (parse_reg line r),
+                     parse_int line c ))
+          | [ "boundary"; id ] -> emit (Instr.Boundary (parse_int line id))
+          | [ "jmp"; l ] -> close_block line st (Instr.Jmp l)
+          | [ br; r; t; e ]
+            when String.length br > 3 && String.sub br 0 3 = "br." ->
+              let cc = String.sub br 3 (String.length br - 3) in
+              let c =
+                match
+                  rev_find_map
+                    (fun (c, n) -> if n = cc then Some c else None)
+                    cond_names
+                with
+                | Some c -> c
+                | None -> fail line "bad condition %S" cc
+              in
+              close_block line st (Instr.Br (c, parse_reg line r, t, e))
+          | [ "call"; f; ret ] -> close_block line st (Instr.Call (f, ret))
+          | [ "ret" ] -> close_block line st Instr.Ret
+          | [ "halt" ] -> close_block line st Instr.Halt
+          | _ -> fail line "cannot parse %S" s
+        end)
+      (String.split_on_char '\n' text);
+    close_func 0 st;
+    let pname =
+      match st.pname with Some n -> n | None -> fail 0 "missing .program"
+    in
+    let funcs = List.rev st.funcs in
+    let main =
+      match funcs with
+      | f :: _ -> f.Cfg.fname
+      | [] -> fail 0 "no functions"
+    in
+    let p =
+      {
+        Cfg.pname;
+        funcs;
+        main;
+        spaces = List.rev st.spaces;
+        init_data = st.init_data;
+      }
+    in
+    match Cfg.validate p with
+    | Ok () -> Ok p
+    | Error msg -> Error (Printf.sprintf "validation: %s" msg)
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e

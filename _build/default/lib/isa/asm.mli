@@ -1,0 +1,34 @@
+(** Textual assembly for the ISA (`.gasm`).
+
+    Grammar (line-oriented; `;` starts a comment):
+
+    {v
+    .program NAME
+    .space NAME WORDS [init N N ...]
+    .func NAME
+    LABEL:            ; basic block
+    LABEL [BOUND]:    ; loop-header block with trip-count annotation
+        li    r0, 42
+        mov   r1, r0
+        add   r2, r1, r0        ; or an immediate: add r2, r1, 5
+        ld    r3, data[r0]      ; register or constant index
+        st    data[7], r3
+        in    r4, port0
+        out   port1, r4
+        nop
+        jmp   LABEL
+        br.nz r4, THEN, ELSE    ; cc in z nz ltz gez gtz lez
+        call  FUNC, RETLABEL
+        ret
+        halt
+    v}
+
+    {!to_string} emits exactly this format, and {!parse} reads it back:
+    the two round-trip. *)
+
+val to_string : Cfg.program -> string
+
+val parse : string -> (Cfg.program, string) result
+(** Errors carry a line number and message. *)
+
+val parse_file : string -> (Cfg.program, string) result

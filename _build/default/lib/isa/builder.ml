@@ -1,0 +1,171 @@
+type pending_block = {
+  pb_label : string;
+  pb_loop_bound : int option;
+  mutable pb_instrs : Instr.t list; (* reversed *)
+  mutable pb_term : Instr.terminator option;
+}
+
+type pending_func = {
+  pf_name : string;
+  mutable pf_blocks : pending_block list; (* reversed *)
+}
+
+type t = {
+  name : string;
+  mutable spaces : Instr.space list; (* reversed *)
+  mutable init_data : (int * int array) list;
+  mutable funcs : pending_func list; (* reversed *)
+  mutable cur_func : pending_func option;
+  mutable cur_block : pending_block option;
+  mutable next_space_id : int;
+}
+
+let program name =
+  {
+    name;
+    spaces = [];
+    init_data = [];
+    funcs = [];
+    cur_func = None;
+    cur_block = None;
+    next_space_id = 0;
+  }
+
+let space t name ~words ?init () =
+  if words <= 0 then invalid_arg "Builder.space: words must be positive";
+  let s =
+    { Instr.space_name = name; space_id = t.next_space_id; space_words = words }
+  in
+  t.next_space_id <- t.next_space_id + 1;
+  t.spaces <- s :: t.spaces;
+  (match init with
+  | Some a ->
+      if Array.length a > words then
+        invalid_arg (Printf.sprintf "Builder.space %s: init larger than space" name);
+      t.init_data <- (s.Instr.space_id, a) :: t.init_data
+  | None -> ());
+  s
+
+let close_block t =
+  match t.cur_block with
+  | None -> ()
+  | Some pb ->
+      (match (pb.pb_term, t.cur_func) with
+      | None, _ ->
+          invalid_arg
+            (Printf.sprintf "Builder: block %s left unterminated" pb.pb_label)
+      | Some _, None -> assert false
+      | Some _, Some pf -> pf.pf_blocks <- pb :: pf.pf_blocks);
+      t.cur_block <- None
+
+let func t name =
+  (* Finish the previous function, if any. *)
+  (match t.cur_block with
+  | Some pb when pb.pb_term = None ->
+      invalid_arg
+        (Printf.sprintf "Builder.func: block %s unterminated" pb.pb_label)
+  | _ -> ());
+  close_block t;
+  (match t.cur_func with Some pf -> t.funcs <- pf :: t.funcs | None -> ());
+  t.cur_func <- Some { pf_name = name; pf_blocks = [] }
+
+let block t ?loop_bound label =
+  (match t.cur_func with
+  | None -> invalid_arg "Builder.block: no current function"
+  | Some _ -> ());
+  (* Implicit fall-through from an unterminated current block. *)
+  (match t.cur_block with
+  | Some pb when pb.pb_term = None -> pb.pb_term <- Some (Instr.Jmp label)
+  | _ -> ());
+  close_block t;
+  t.cur_block <-
+    Some { pb_label = label; pb_loop_bound = loop_bound; pb_instrs = []; pb_term = None }
+
+let emit t i =
+  match t.cur_block with
+  | None -> invalid_arg "Builder: no current block"
+  | Some pb ->
+      if pb.pb_term <> None then
+        invalid_arg
+          (Printf.sprintf "Builder: emitting into terminated block %s" pb.pb_label);
+      pb.pb_instrs <- i :: pb.pb_instrs
+
+let terminate t term =
+  match t.cur_block with
+  | None -> invalid_arg "Builder: no current block to terminate"
+  | Some pb ->
+      if pb.pb_term <> None then
+        invalid_arg
+          (Printf.sprintf "Builder: block %s already terminated" pb.pb_label);
+      pb.pb_term <- Some term
+
+let imm i = Instr.Oimm i
+let reg r = Instr.Oreg r
+let at s c = { Instr.space = s; disp = Instr.Dconst c }
+let idx s r = { Instr.space = s; disp = Instr.Dreg r }
+
+let li t d i = emit t (Instr.Li (d, i))
+let mov t d s = emit t (Instr.Mov (d, s))
+let bin t op d a b = emit t (Instr.Bin (op, d, a, b))
+let add t d a b = bin t Instr.Add d a b
+let sub t d a b = bin t Instr.Sub d a b
+let mul t d a b = bin t Instr.Mul d a b
+let ld t d m = emit t (Instr.Ld (d, m))
+let st t m s = emit t (Instr.St (m, s))
+let io_in t d p = emit t (Instr.In (d, p))
+let io_out t p s = emit t (Instr.Out (p, s))
+let nop t = emit t Instr.Nop
+
+let jmp t l = terminate t (Instr.Jmp l)
+let br t c r then_ else_ = terminate t (Instr.Br (c, r, then_, else_))
+let call t callee ~ret = terminate t (Instr.Call (callee, ret))
+let ret t = terminate t Instr.Ret
+let halt t = terminate t Instr.Halt
+
+let finish t =
+  (match t.cur_block with
+  | Some pb when pb.pb_term = None ->
+      invalid_arg
+        (Printf.sprintf "Builder.finish: block %s unterminated" pb.pb_label)
+  | _ -> ());
+  close_block t;
+  (match t.cur_func with Some pf -> t.funcs <- pf :: t.funcs | None -> ());
+  t.cur_func <- None;
+  let funcs =
+    List.rev_map
+      (fun pf ->
+        {
+          Cfg.fname = pf.pf_name;
+          blocks =
+            List.rev_map
+              (fun pb ->
+                {
+                  Cfg.label = pb.pb_label;
+                  instrs = List.rev pb.pb_instrs;
+                  term =
+                    (match pb.pb_term with
+                    | Some term -> term
+                    | None -> assert false);
+                  loop_bound = pb.pb_loop_bound;
+                })
+              pf.pf_blocks;
+        })
+      t.funcs
+  in
+  let main =
+    match funcs with
+    | [] -> invalid_arg "Builder.finish: program has no functions"
+    | f :: _ -> f.Cfg.fname
+  in
+  let p =
+    {
+      Cfg.pname = t.name;
+      funcs;
+      main;
+      spaces = List.rev t.spaces;
+      init_data = t.init_data;
+    }
+  in
+  match Cfg.validate p with
+  | Ok () -> p
+  | Error msg -> invalid_arg (Printf.sprintf "Builder.finish: %s" msg)

@@ -1,0 +1,170 @@
+type space = { space_name : string; space_id : int; space_words : int }
+type disp = Dconst of int | Dreg of Reg.t
+type mref = { space : space; disp : disp }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Sra
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+
+type operand = Oreg of Reg.t | Oimm of int
+
+type t =
+  | Li of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Bin of binop * Reg.t * Reg.t * operand
+  | Ld of Reg.t * mref
+  | St of mref * Reg.t
+  | In of Reg.t * int
+  | Out of int * Reg.t
+  | Nop
+  | Ckpt of Reg.t * int
+  | CkptDyn of Reg.t
+  | LdSlot of Reg.t * int * int
+  | Boundary of int
+
+type cond = Z | Nz | Ltz | Gez | Gtz | Lez
+
+type terminator =
+  | Jmp of string
+  | Br of cond * Reg.t * string * string
+  | Call of string * string
+  | Ret
+  | Halt
+
+let defs = function
+  | Li (d, _) | Mov (d, _) | Bin (_, d, _, _) | Ld (d, _) | In (d, _)
+  | LdSlot (d, _, _) ->
+      Reg.Set.singleton d
+  | St _ | Out _ | Nop | Ckpt _ | CkptDyn _ | Boundary _ -> Reg.Set.empty
+
+let disp_uses = function Dconst _ -> Reg.Set.empty | Dreg r -> Reg.Set.singleton r
+
+let uses = function
+  | Li _ | Nop | Boundary _ | LdSlot _ | In _ -> Reg.Set.empty
+  | Mov (_, s) -> Reg.Set.singleton s
+  | Bin (_, _, a, Oreg b) -> Reg.Set.add b (Reg.Set.singleton a)
+  | Bin (_, _, a, Oimm _) -> Reg.Set.singleton a
+  | Ld (_, m) -> disp_uses m.disp
+  | St (m, s) -> Reg.Set.add s (disp_uses m.disp)
+  | Out (_, s) -> Reg.Set.singleton s
+  | Ckpt (r, _) | CkptDyn r -> Reg.Set.singleton r
+
+let mem_write = function St (m, _) -> Some m | _ -> None
+let mem_read = function Ld (_, m) -> Some m | _ -> None
+let is_io = function In _ | Out _ -> true | _ -> false
+
+let mask32 = 0xFFFFFFFF
+
+(* Sign-extend the low 32 bits into a native int. *)
+let sext32 x =
+  let x = x land mask32 in
+  if x land 0x80000000 <> 0 then x - 0x100000000 else x
+
+let eval_binop op a b =
+  let a = sext32 a and b = sext32 b in
+  let r =
+    match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | Div -> if b = 0 then 0 else a / b
+    | Rem -> if b = 0 then 0 else a mod b
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> a lsl (b land 31)
+    | Shr -> (a land mask32) lsr (b land 31)
+    | Sra -> a asr (b land 31)
+    | Slt -> if a < b then 1 else 0
+    | Sle -> if a <= b then 1 else 0
+    | Seq -> if a = b then 1 else 0
+    | Sne -> if a <> b then 1 else 0
+  in
+  sext32 r
+
+let eval_cond c v =
+  match c with
+  | Z -> v = 0
+  | Nz -> v <> 0
+  | Ltz -> v < 0
+  | Gez -> v >= 0
+  | Gtz -> v > 0
+  | Lez -> v <= 0
+
+let term_uses = function
+  | Br (_, r, _, _) -> Reg.Set.singleton r
+  | Jmp _ | Halt -> Reg.Set.empty
+  | Call _ | Ret -> Reg.Set.singleton Reg.sp
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Sra -> "sra"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+  | Sne -> "sne"
+
+let cond_name = function
+  | Z -> "z"
+  | Nz -> "nz"
+  | Ltz -> "ltz"
+  | Gez -> "gez"
+  | Gtz -> "gtz"
+  | Lez -> "lez"
+
+let pp_mref ppf m =
+  match m.disp with
+  | Dconst c -> Format.fprintf ppf "%s[%d]" m.space.space_name c
+  | Dreg r -> Format.fprintf ppf "%s[%a]" m.space.space_name Reg.pp r
+
+let pp_operand ppf = function
+  | Oreg r -> Reg.pp ppf r
+  | Oimm i -> Format.fprintf ppf "#%d" i
+
+let pp ppf = function
+  | Li (d, i) -> Format.fprintf ppf "li %a, #%d" Reg.pp d i
+  | Mov (d, s) -> Format.fprintf ppf "mov %a, %a" Reg.pp d Reg.pp s
+  | Bin (op, d, a, b) ->
+      Format.fprintf ppf "%s %a, %a, %a" (binop_name op) Reg.pp d Reg.pp a
+        pp_operand b
+  | Ld (d, m) -> Format.fprintf ppf "ld %a, %a" Reg.pp d pp_mref m
+  | St (m, s) -> Format.fprintf ppf "st %a, %a" pp_mref m Reg.pp s
+  | In (d, p) -> Format.fprintf ppf "in %a, port%d" Reg.pp d p
+  | Out (p, s) -> Format.fprintf ppf "out port%d, %a" p Reg.pp s
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Ckpt (r, c) -> Format.fprintf ppf "ckpt %a, slot%d" Reg.pp r c
+  | CkptDyn r -> Format.fprintf ppf "ckpt.dyn %a" Reg.pp r
+  | LdSlot (d, r, c) -> Format.fprintf ppf "ldslot %a, r%d, slot%d" Reg.pp d r c
+  | Boundary id -> Format.fprintf ppf "-- region %d --" id
+
+let pp_terminator ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Br (c, r, t, e) ->
+      Format.fprintf ppf "br.%s %a, %s, %s" (cond_name c) Reg.pp r t e
+  | Call (f, ret) -> Format.fprintf ppf "call %s -> %s" f ret
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let to_string i = Format.asprintf "%a" pp i

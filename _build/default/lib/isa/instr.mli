@@ -1,0 +1,96 @@
+(** Instruction set of the simulated MCU.
+
+    The same representation serves as the compiler IR (inside basic blocks of
+    a {!Cfg} program) and, after {!Link}ing, as the executed machine code.
+    Values are 32-bit two's-complement words (the MCU handles 32-bit data the
+    way a 16-bit MSP430 handles register pairs; a single word type keeps the
+    model simple without changing any of the checkpointing behaviour).
+
+    Memory operands carry the {e allocation} they address (a named data
+    space) plus a displacement that is either a compile-time constant or a
+    register.  This symbolic form is what the alias analysis consumes. *)
+
+(** A named data allocation in non-volatile memory. *)
+type space = { space_name : string; space_id : int; space_words : int }
+
+type disp = Dconst of int | Dreg of Reg.t
+
+(** A memory reference: word [disp] within [space]. *)
+type mref = { space : space; disp : disp }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Signed division; division by zero yields 0 (MCU convention). *)
+  | Rem  (** Signed remainder; by zero yields 0. *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr  (** Logical right shift. *)
+  | Sra  (** Arithmetic right shift. *)
+  | Slt  (** Set 1 if [a < b] signed, else 0. *)
+  | Sle
+  | Seq
+  | Sne
+
+type operand = Oreg of Reg.t | Oimm of int
+
+type t =
+  | Li of Reg.t * int  (** Load immediate. *)
+  | Mov of Reg.t * Reg.t
+  | Bin of binop * Reg.t * Reg.t * operand  (** [dst = src1 op src2]. *)
+  | Ld of Reg.t * mref
+  | St of mref * Reg.t
+  | In of Reg.t * int  (** Read an I/O port (sensor). *)
+  | Out of int * Reg.t  (** Write an I/O port (radio / actuator / GPIO). *)
+  | Nop
+  | Ckpt of Reg.t * int
+      (** GECKO checkpoint store: persist the register into its statically
+          coloured slot (colour 0 or 1) in the GECKO NVM checkpoint area. *)
+  | CkptDyn of Reg.t
+      (** Ratchet-style checkpoint store with a dynamically indexed
+          double-buffer (costs extra cycles for the index load). *)
+  | LdSlot of Reg.t * int * int
+      (** [LdSlot (dst, srcreg, colour)] reads the checkpoint slot of
+          register [srcreg] with [colour] — used only inside recovery
+          blocks. *)
+  | Boundary of int
+      (** Region boundary; the operand is the id of the region being
+          entered.  Inserted by the compiler, interpreted by the runtime. *)
+
+(** Block terminators. *)
+type cond = Z | Nz | Ltz | Gez | Gtz | Lez
+
+type terminator =
+  | Jmp of string
+  | Br of cond * Reg.t * string * string  (** [Br (c, r, then_, else_)]. *)
+  | Call of string * string  (** [Call (callee_function, return_block)]. *)
+  | Ret
+  | Halt
+
+val defs : t -> Reg.Set.t
+(** Registers written by the instruction. *)
+
+val uses : t -> Reg.Set.t
+(** Registers read by the instruction (including address registers). *)
+
+val mem_write : t -> mref option
+val mem_read : t -> mref option
+
+val is_io : t -> bool
+(** I/O instructions are externally visible and must not be re-executed,
+    so they force region boundaries. *)
+
+val eval_binop : binop -> int -> int -> int
+(** 32-bit two's-complement semantics. *)
+
+val eval_cond : cond -> int -> bool
+
+val term_uses : terminator -> Reg.Set.t
+
+val pp_mref : Format.formatter -> mref -> unit
+val pp : Format.formatter -> t -> unit
+val pp_terminator : Format.formatter -> terminator -> unit
+val to_string : t -> string

@@ -1,0 +1,36 @@
+type t = int
+
+let count = 16
+
+let of_int i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Reg.of_int: %d out of range" i)
+  else i
+
+let to_int r = r
+let all = List.init count (fun i -> i)
+let equal = Int.equal
+let compare = Int.compare
+let to_string r = Printf.sprintf "r%d" r
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+let sp = r15
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,46 @@
+(** Machine registers.
+
+    The simulated MCU has a 16-entry volatile register file, mirroring the
+    MSP430 register count.  [r15] is reserved by convention as the stack
+    pointer for programs that use calls. *)
+
+type t = private int
+
+val count : int
+(** Number of architectural registers (16). *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [0, count). *)
+
+val to_int : t -> int
+
+val all : t list
+(** All registers in index order. *)
+
+val sp : t
+(** Stack-pointer convention register (r15). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val r0 : t
+val r1 : t
+val r2 : t
+val r3 : t
+val r4 : t
+val r5 : t
+val r6 : t
+val r7 : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+val r13 : t
+val r14 : t
+val r15 : t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

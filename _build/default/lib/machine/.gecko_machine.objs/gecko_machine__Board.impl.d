@@ -1,0 +1,1 @@
+lib/machine/board.ml: Catalog Device Format Gecko_devices Gecko_energy Harvester Option

@@ -1,0 +1,1 @@
+lib/machine/board.mli: Device Format Gecko_devices Gecko_energy Harvester

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Board Format Gecko_core Gecko_emi Gecko_isa Link Schedule

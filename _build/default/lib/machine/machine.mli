@@ -1,0 +1,115 @@
+(** The intermittent-system MCU simulator.
+
+    Executes a linked image with cycle and energy accounting against the
+    board's capacitor, harvester, voltage monitor and EMI environment, and
+    hosts the runtime of the compiled scheme:
+
+    - {b NVP} (CTPL-style): monitor-triggered JIT checkpoint ISR, restore
+      on wake, ACK barrier;
+    - {b Ratchet}: boundary commits with parity double buffering, full
+      register rollback at boot;
+    - {b GECKO}: JIT roll-forward in normal operation, detection via
+      ACK/progress checks, monitor disablement and idempotent rollback
+      (slot restores + recovery-block execution) under attack, and the
+      probe-based return to JIT.
+
+    DoS ping-pong, V_fail-window wakes, partial checkpoints and data
+    corruption all emerge from the simulation loop; nothing is scripted. *)
+
+open Gecko_isa
+open Gecko_emi
+
+type limit =
+  | Sim_time of float  (** Stop at this simulated time (s). *)
+  | Completions of int  (** Stop after N application completions. *)
+
+(** Power/runtime events, recorded when [record_events] is set. *)
+type event_kind =
+  | Ev_boot of Gecko_core.Policy.mode
+  | Ev_restore_jit
+  | Ev_rollback of int  (** boundary id rolled back to *)
+  | Ev_fresh_start
+  | Ev_backup_signal of bool  (** [true] when the timer check flagged it *)
+  | Ev_checkpoint
+  | Ev_checkpoint_failed
+  | Ev_brownout
+  | Ev_detection
+  | Ev_reenable
+  | Ev_completion
+
+type event = { ev_time : float; ev_kind : event_kind }
+
+val pp_event : Format.formatter -> event -> unit
+
+type options = {
+  schedule : Schedule.t;
+  limit : limit;
+  max_sim_time : float;  (** Hard cap regardless of [limit]. *)
+  timeline_bucket : float option;
+      (** Collect per-bucket app cycles and completions. *)
+  seed : int;
+  restart_on_halt : bool;
+      (** Re-initialize data and re-run on completion (throughput runs). *)
+  record_io : bool;
+  record_events : bool;
+  start_charged : bool;
+}
+
+val default_options : options
+
+type timeline = {
+  bucket : float;
+  app_seconds_per_bucket : float array;
+  completions_per_bucket : int array;
+}
+
+type outcome = {
+  completions : int;
+  completion_times : float list;  (** In order. *)
+  sim_time : float;
+  app_cycles : int;  (** Cycles spent on original program instructions. *)
+  app_seconds : float;
+  instrumentation_cycles : int;
+      (** Cycles spent on compiler-inserted instructions (Ckpt/Boundary). *)
+  jit_checkpoints : int;
+  jit_checkpoint_failures : int;
+  reboots : int;
+  brownouts : int;
+  detections : int;
+  reenables : int;
+  rollbacks : int;
+  recovery_block_runs : int;
+  corruptions : int;  (** Boots that resumed from a corrupt JIT image. *)
+  io_out_count : int;
+  io_log : (int * int) list;  (** (port, value), in order, if recorded. *)
+  final_mode : Gecko_core.Policy.mode;
+  timeline : timeline option;
+  events : event list;  (** In order, when [record_events] was set. *)
+  hit_limit : bool;  (** False if stopped by [max_sim_time] instead. *)
+}
+
+val forward_progress : outcome -> float
+(** R = forward-progress time / total time (Section IV-A2). *)
+
+val checkpoint_failure_rate : outcome -> float
+(** F = N_fail / N_checkpoints (Section IV-B2). *)
+
+val run :
+  board:Board.t ->
+  image:Link.image ->
+  meta:Gecko_core.Meta.t ->
+  options ->
+  outcome
+
+val golden_nvm :
+  board:Board.t -> image:Link.image -> meta:Gecko_core.Meta.t -> int array
+(** Data-segment snapshot after one uninterrupted run on continuous power
+    (the crash-consistency reference). *)
+
+val run_with_nvm :
+  board:Board.t ->
+  image:Link.image ->
+  meta:Gecko_core.Meta.t ->
+  options ->
+  outcome * int array
+(** Like {!run} but also returns the final data-segment snapshot. *)

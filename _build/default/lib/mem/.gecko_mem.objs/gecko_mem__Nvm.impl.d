@@ -1,0 +1,1 @@
+lib/mem/nvm.ml: Array Gecko_isa List Printf

@@ -1,0 +1,1 @@
+lib/mem/nvm.mli: Gecko_isa

@@ -1,0 +1,41 @@
+(** Non-volatile main memory (FRAM-like).
+
+    Word-addressed, byte-granularity is not modelled.  FRAM on MSP430-class
+    parts has symmetric read/write latency and effectively unlimited
+    endurance, so the model tracks access counts (for energy accounting by
+    the machine) but no wear.
+
+    Contents survive power failure by construction: the machine never
+    clears an [Nvm.t] across simulated outages. *)
+
+type t
+
+val create : words:int -> t
+
+val words : t -> int
+
+val read : t -> int -> int
+(** Raises [Invalid_argument] on an out-of-range address. *)
+
+val write : t -> int -> int -> unit
+
+val reads : t -> int
+(** Cumulative read count. *)
+
+val writes : t -> int
+(** Cumulative write count. *)
+
+val reset_stats : t -> unit
+
+val load_program : t -> Gecko_isa.Link.image -> unit
+(** Install the initial data-segment contents of an image (space initial
+    values; everything else zeroed). *)
+
+val snapshot : t -> int array
+(** Copy of the full contents (does not count as reads). *)
+
+val restore : t -> int array -> unit
+
+val diff : int array -> int array -> (int * int * int) list
+(** [diff a b] lists [(addr, a_val, b_val)] where the two snapshots
+    disagree. *)

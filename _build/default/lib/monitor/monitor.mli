@@ -1,0 +1,58 @@
+(** Voltage monitor — the component EMI attacks manipulate.
+
+    Two constructions, matching Section II-C:
+
+    - {b ADC-based}: the supply is sampled periodically and compared in
+      software/firmware against V_backup / V_on references.  Trigger
+      latency is bounded by the sampling period.
+    - {b Comparator-based}: a continuous analog comparator raises an
+      interrupt as soon as the (disturbed) input crosses the reference;
+      trigger latency is the comparator propagation delay.
+
+    The monitor does not see the true capacitor voltage: it sees
+    [v_true ± disturbance], where the disturbance amplitude comes from
+    {!Gecko_emi.Attack.induced_amplitude}.  While the system is on the
+    monitor watches for under-voltage (backup/checkpoint signal); while it
+    is off it watches for the recovery voltage (wake signal).  This
+    asymmetric worst-case envelope is exactly what lets an attacker
+    ping-pong the device (DoS) and wake it inside the V_fail window
+    (checkpoint failure / data corruption). *)
+
+type kind =
+  | Adc of { sample_period : float }
+  | Comparator of { latency : float }
+
+type thresholds = { v_backup : float; v_on : float }
+
+type event = Backup | Wake
+
+type t
+
+val create : kind -> thresholds -> t
+
+val kind : t -> kind
+val thresholds : t -> thresholds
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** GECKO closes the attack surface by disabling the monitor; a disabled
+    monitor produces no events at all. *)
+
+val arm_backup : t -> unit
+(** Watch for under-voltage (system running). *)
+
+val arm_wake : t -> unit
+(** Watch for the recovery threshold (system off / sleeping). *)
+
+val observe : t -> time:float -> v_true:float -> disturbance:float -> event option
+(** Advance the monitor to [time] and report a trigger, if any.  For the
+    ADC kind, triggers only fire on sampling ticks; the comparator fires
+    once its latency has elapsed since the condition first held. *)
+
+val reset : t -> unit
+(** Forget pending condition timing (used at reboot). *)
+
+val sync : t -> time:float -> unit
+(** Restart the sampling clock at [time] (ADC kind): the first sample
+    after a (re)boot happens one full sampling period later. *)

@@ -1,0 +1,126 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0., 1., 0., 1.)
+  | _ ->
+      let mn l = List.fold_left min (List.hd l) l
+      and mx l = List.fold_left max (List.hd l) l in
+      (mn xs, mx xs, mn ys, mx ys)
+
+let line_plot ?(width = 72) ?(height = 18) ?(x_label = "") ?(y_label = "")
+    ?title ?y_min ?y_max series =
+  let x0, x1, yy0, yy1 = bounds series in
+  let y0 = Option.value y_min ~default:yy0 in
+  let y1 = Option.value y_max ~default:yy1 in
+  let y1 = if y1 <= y0 then y0 +. 1. else y1 in
+  let x1 = if x1 <= x0 then x0 +. 1. else x1 in
+  let grid = Array.make_matrix height width ' ' in
+  let plot_one gi s =
+    let g = glyphs.(gi mod Array.length glyphs) in
+    List.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+        in
+        let cy =
+          int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+        in
+        let cy = height - 1 - cy in
+        if cx >= 0 && cx < width && cy >= 0 && cy < height then
+          grid.(cy).(cx) <- g)
+      s.points
+  in
+  List.iteri plot_one series;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if y_label <> "" then (
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n');
+  let ytick row =
+    let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+    y0 +. (frac *. (y1 -. y0))
+  in
+  Array.iteri
+    (fun row line ->
+      Buffer.add_string buf (Printf.sprintf "%10.3g |" (ytick row));
+      Buffer.add_string buf (String.init width (fun i -> line.(i)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%s%-10.4g%s%10.4g  %s\n" (String.make 12 ' ') x0
+       (String.make (max 1 (width - 20)) ' ')
+       x1 x_label);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %c = %s\n" glyphs.(i mod Array.length glyphs) s.label))
+    series;
+  Buffer.contents buf
+
+let bar_chart ?(width = 50) ?title ?(unit_label = "") rows =
+  let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0. rows in
+  let vmax = if vmax <= 0. then 1. else vmax in
+  let name_w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+  in
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (name, v) ->
+      let n = int_of_float (v /. vmax *. float_of_int width) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s | %s %.4g%s\n" name_w name (String.make n '#') v
+           unit_label))
+    rows;
+  Buffer.contents buf
+
+let grouped_bars ?(width = 40) ?title ~group_labels rows =
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left max acc vs)
+      0. rows
+  in
+  let vmax = if vmax <= 0. then 1. else vmax in
+  let name_w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+  in
+  let glabel_w =
+    List.fold_left (fun acc g -> max acc (String.length g)) 0 group_labels
+  in
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (name, vs) ->
+      List.iteri
+        (fun i v ->
+          let g = List.nth group_labels i in
+          let n = int_of_float (v /. vmax *. float_of_int width) in
+          let shown_name = if i = 0 then name else "" in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %-*s | %s %.4g\n" name_w shown_name glabel_w
+               g (String.make n '#') v))
+        vs;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** ASCII chart rendering: line plots and horizontal bar charts.
+
+    Used by the bench harness to render the paper's figures as text.  A
+    figure is a set of named series over a shared x axis. *)
+
+type series = { label : string; points : (float * float) list }
+
+val line_plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?title:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  series list ->
+  string
+(** Render series on a character grid.  Each series is drawn with its own
+    glyph; a legend maps glyphs to labels.  X positions are scaled linearly
+    between the global min and max x of all series. *)
+
+val bar_chart :
+  ?width:int -> ?title:string -> ?unit_label:string -> (string * float) list -> string
+(** Horizontal bars scaled to the maximum value. *)
+
+val grouped_bars :
+  ?width:int ->
+  ?title:string ->
+  group_labels:string list ->
+  (string * float list) list ->
+  string
+(** [grouped_bars ~group_labels rows] renders, for each [(name, values)] row,
+    one bar per group (e.g. one per scheme).  [values] arity must match
+    [group_labels]. *)

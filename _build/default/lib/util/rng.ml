@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* SplitMix64 finalizer. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t = mix (next_seed t)
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value is non-negative as a native OCaml int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 random bits scaled to [0,1). *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-12 then draw () else u1
+  in
+  let u1 = draw () and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,37 @@
+(** Small statistics toolkit for experiment post-processing. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty list. *)
+
+val median : float list -> float
+
+val normalize_to : float -> float list -> float list
+(** [normalize_to base xs] divides every element by [base]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

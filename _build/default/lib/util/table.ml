@@ -1,0 +1,90 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  header : string list;
+  arity : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~header () =
+  { title; header; arity = List.length header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" t.arity
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render ?align t =
+  let rows = List.rev t.rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = t.arity -> Array.of_list a
+    | _ -> Array.init t.arity (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make t.arity 0 in
+  let account cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  account t.header;
+  List.iter (function Cells c -> account c | Sep -> ()) rows;
+  let buf = Buffer.create 256 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  hline ();
+  line t.header;
+  hline ();
+  List.iter (function Cells c -> line c | Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let print ?align t = print_string (render ?align t)
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3g" x
+
+let cell_pct x = Printf.sprintf "%.2f%%" (x *. 100.)

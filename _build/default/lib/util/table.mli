@@ -1,0 +1,30 @@
+(** ASCII table rendering for experiment output.
+
+    Every reproduced paper table/figure prints through this module so the
+    bench harness output is uniform and diff-able. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** A table with a fixed header row.  Column count is set by the header. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] if the arity differs from
+    the header. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : ?align:align list -> t -> string
+(** Render with box-drawing in plain ASCII.  [align] defaults to left for the
+    first column and right for the rest. *)
+
+val print : ?align:align list -> t -> unit
+
+val cell_f : float -> string
+(** Compact float formatting: "%.3g" with special-casing of exact ints. *)
+
+val cell_pct : float -> string
+(** Fraction as percentage, e.g. [0.0312 -> "3.12%"]. *)

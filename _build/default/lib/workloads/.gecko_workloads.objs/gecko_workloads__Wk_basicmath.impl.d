@@ -1,0 +1,1 @@
+lib/workloads/wk_basicmath.ml: Array Builder Gecko_isa Instr Reg Wk_common

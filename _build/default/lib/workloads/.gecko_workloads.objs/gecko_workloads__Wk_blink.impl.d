@@ -1,0 +1,1 @@
+lib/workloads/wk_blink.ml: Builder Gecko_isa Instr Reg

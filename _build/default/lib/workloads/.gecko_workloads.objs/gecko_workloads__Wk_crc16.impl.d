@@ -1,0 +1,1 @@
+lib/workloads/wk_crc16.ml: Builder Gecko_isa Instr Reg Wk_common

@@ -1,0 +1,1 @@
+lib/workloads/wk_dhrystone.ml: Builder Gecko_isa Instr Reg Wk_common

@@ -1,0 +1,1 @@
+lib/workloads/wk_dijkstra.ml: Array Builder Gecko_isa Instr Printf Reg Wk_common

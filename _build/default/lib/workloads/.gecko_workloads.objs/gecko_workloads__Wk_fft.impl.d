@@ -1,0 +1,1 @@
+lib/workloads/wk_fft.ml: Array Builder Gecko_isa Instr List Reg Wk_common

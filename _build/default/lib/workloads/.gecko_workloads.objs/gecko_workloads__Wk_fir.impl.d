@@ -1,0 +1,1 @@
+lib/workloads/wk_fir.ml: Builder Gecko_isa Instr Reg Wk_common

@@ -1,0 +1,1 @@
+lib/workloads/wk_stringsearch.ml: Array Builder Gecko_isa Instr List Printf Reg Wk_common

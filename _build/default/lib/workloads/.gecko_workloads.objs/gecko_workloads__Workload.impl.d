@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Cfg Gecko_isa List Wk_basicmath Wk_bitcnt Wk_blink Wk_crc16 Wk_crc32 Wk_dhrystone Wk_dijkstra Wk_fft Wk_fir Wk_qsort Wk_stringsearch

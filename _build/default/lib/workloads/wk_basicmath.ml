@@ -1,0 +1,119 @@
+(* MiBench basicmath at MCU scale: integer square roots (Newton), angle
+   conversion, cubic polynomial evaluation and a GCD phase — several
+   sequential loop nests, which is why it carries many checkpoint stores
+   in Table III. *)
+
+open Gecko_isa
+module B = Builder
+
+let n = 32
+
+let program () =
+  let b = B.program "basicmath" in
+  let data =
+    B.space b "data" ~words:n
+      ~init:(Array.map (fun v -> v + 1) (Wk_common.input_bytes ~seed:3 n))
+      ()
+  in
+  let roots = B.space b "roots" ~words:n () in
+  let rads = B.space b "rads" ~words:n () in
+  let cubics = B.space b "cubics" ~words:16 () in
+  let gcds = B.space b "gcds" ~words:(n / 2) () in
+  let i = Reg.r0
+  and x = Reg.r1
+  and y = Reg.r2
+  and t = Reg.r3
+  and k = Reg.r4
+  and acc = Reg.r5
+  and u = Reg.r6
+  and v = Reg.r7 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  (* Phase 1: isqrt via 8 unrolled Newton steps, y0 = x (inputs are
+     >= 1, and (y + x/y)/2 of a positive pair stays >= 1 after the max
+     with 1 below, so the division is safe). *)
+  B.block b "sqrt_loop" ~loop_bound:n;
+  B.ld b x (B.idx data i);
+  B.mov b y x;
+  for _ = 1 to 8 do
+    B.bin b Instr.Div t x (B.reg y);
+    B.bin b Instr.Add y y (B.reg t);
+    B.bin b Instr.Shr y y (B.imm 1);
+    (* y = max y 1, branch-free: y += (y == 0). *)
+    B.bin b Instr.Seq t y (B.imm 0);
+    B.bin b Instr.Add y y (B.reg t)
+  done;
+  B.st b (B.idx roots i) y;
+  B.add b i i (B.imm 1);
+  B.bin b Instr.Slt t i (B.imm n);
+  B.br b Instr.Nz t "sqrt_loop" "deg_init";
+  (* Phase 2: degrees -> scaled radians: r = d * 31416 / 1800. *)
+  B.block b "deg_init";
+  B.li b i 0;
+  B.block b "deg_loop" ~loop_bound:(n / 4);
+  for _ = 1 to 4 do
+    B.ld b x (B.idx data i);
+    B.mul b x x (B.imm 31416);
+    B.bin b Instr.Div x x (B.imm 1800);
+    B.st b (B.idx rads i) x;
+    B.add b i i (B.imm 1)
+  done;
+  B.bin b Instr.Slt t i (B.imm n);
+  B.br b Instr.Nz t "deg_loop" "cubic_init";
+  (* Phase 3: cubic y = ((x - 7)x + 12)x - 9 by Horner. *)
+  B.block b "cubic_init";
+  B.li b i 0;
+  B.block b "cubic_loop" ~loop_bound:4;
+  for _ = 1 to 4 do
+    B.mov b x i;
+    B.bin b Instr.Sub y x (B.imm 7);
+    B.mul b y y (B.reg x);
+    B.add b y y (B.imm 12);
+    B.mul b y y (B.reg x);
+    B.sub b y y (B.imm 9);
+    B.st b (B.idx cubics i) y;
+    B.add b i i (B.imm 1)
+  done;
+  B.bin b Instr.Slt t i (B.imm 16);
+  B.br b Instr.Nz t "cubic_loop" "gcd_init";
+  (* Phase 4: gcd of consecutive pairs (Euclid). *)
+  B.block b "gcd_init";
+  B.li b i 0;
+  B.li b acc 0;
+  B.block b "gcd_loop" ~loop_bound:(n / 2);
+  B.bin b Instr.Shl k i (B.imm 1);
+  B.ld b u (B.idx data k);
+  B.add b k k (B.imm 1);
+  B.ld b v (B.idx data k);
+  B.block b "euclid" ~loop_bound:8;
+  B.br b Instr.Z v "gcd_store" "euclid_step";
+  B.block b "euclid_step";
+  for _ = 1 to 4 do
+    (* One Euclid step; Rem by zero yields 0 in this ISA, so the step is
+       harmlessly idempotent once v reaches 0. *)
+    B.bin b Instr.Rem t u (B.reg v);
+    (* if v = 0 keep (u, v) unchanged: sel = (v != 0). *)
+    B.bin b Instr.Sne k v (B.imm 0);
+    B.mul b x v (B.reg k);
+    (* x = v or 0 *)
+    B.bin b Instr.Seq y v (B.imm 0);
+    B.mul b y u (B.reg y);
+    (* y = u if v = 0 else 0 *)
+    B.bin b Instr.Add x x (B.reg y);
+    (* x = (v != 0) ? v : u  — the next u *)
+    B.mul b t t (B.reg k);
+    (* next v = rem or 0 *)
+    B.mov b u x;
+    B.mov b v t
+  done;
+  B.jmp b "euclid";
+  B.block b "gcd_store";
+  B.st b (B.idx gcds i) u;
+  B.add b acc acc (B.reg u);
+  B.add b i i (B.imm 1);
+  B.bin b Instr.Slt t i (B.imm (n / 2));
+  B.br b Instr.Nz t "gcd_loop" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

@@ -1,0 +1,67 @@
+(* Bit counting over 64 words with two strategies per iteration: SWAR
+   popcount and a nibble-table lookup, results accumulated separately
+   (mirrors MiBench bitcnts exercising several counters). *)
+
+open Gecko_isa
+module B = Builder
+
+let n_words = 64
+
+let nibble_table = [| 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 |]
+
+let program () =
+  let b = B.program "bitcnt" in
+  let data =
+    B.space b "data" ~words:n_words ~init:(Wk_common.input_words ~seed:5 n_words) ()
+  in
+  let ntab = B.space b "ntab" ~words:16 ~init:nibble_table () in
+  let result = B.space b "result" ~words:2 () in
+  let i = Reg.r0
+  and v = Reg.r1
+  and t = Reg.r2
+  and swar = Reg.r3
+  and tabcnt = Reg.r4
+  and nib = Reg.r5
+  and u = Reg.r6
+  and bound = Reg.r7 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  B.li b swar 0;
+  B.li b tabcnt 0;
+  B.li b bound n_words;
+  B.block b "loop" ~loop_bound:(n_words / 2);
+  for _ = 1 to 2 do
+    B.ld b v (B.idx data i);
+    (* SWAR popcount of the low 16 bits. *)
+    B.bin b Instr.And u v (B.imm 0xFFFF);
+    B.bin b Instr.Shr t u (B.imm 1);
+    B.bin b Instr.And t t (B.imm 0x5555);
+    B.bin b Instr.Sub u u (B.reg t);
+    B.bin b Instr.Shr t u (B.imm 2);
+    B.bin b Instr.And t t (B.imm 0x3333);
+    B.bin b Instr.And u u (B.imm 0x3333);
+    B.bin b Instr.Add u u (B.reg t);
+    B.bin b Instr.Shr t u (B.imm 4);
+    B.bin b Instr.Add u u (B.reg t);
+    B.bin b Instr.And u u (B.imm 0x0F0F);
+    B.bin b Instr.Shr t u (B.imm 8);
+    B.bin b Instr.Add u u (B.reg t);
+    B.bin b Instr.And u u (B.imm 0x1F);
+    B.bin b Instr.Add swar swar (B.reg u);
+    (* Nibble-table count of the same bits. *)
+    for shift = 0 to 3 do
+      B.bin b Instr.Shr nib v (B.imm (shift * 4));
+      B.bin b Instr.And nib nib (B.imm 0xF);
+      B.ld b t (B.idx ntab nib);
+      B.add b tabcnt tabcnt (B.reg t)
+    done;
+    B.add b i i (B.imm 1);
+  done;
+  B.bin b Instr.Slt t i (B.reg bound);
+  B.br b Instr.Nz t "loop" "fin";
+  B.block b "fin";
+  B.st b (B.at result 0) swar;
+  B.st b (B.at result 1) tabcnt;
+  B.halt b;
+  B.finish b

@@ -1,0 +1,32 @@
+(* The classic GPIO blink: toggle an LED port with a straight-line cycle
+   delay (the `__delay_cycles` intrinsic idiom — MCU blink code does not
+   loop for short delays).  The paper's smallest app (6 checkpoint stores
+   in Table III). *)
+
+open Gecko_isa
+module B = Builder
+
+let blinks = 8
+let delay_cycles = 24
+
+let program () =
+  let b = B.program "blink" in
+  let state = B.space b "state" ~words:1 () in
+  let led = Reg.r0 and i = Reg.r1 and t = Reg.r3 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  B.block b "loop" ~loop_bound:blinks;
+  B.bin b Instr.And led i (B.imm 1);
+  B.io_out b 0 led;
+  B.st b (B.at state 0) led;
+  (* Inline delay. *)
+  for _ = 1 to delay_cycles do
+    B.nop b
+  done;
+  B.add b i i (B.imm 1);
+  B.bin b Instr.Slt t i (B.imm blinks);
+  B.br b Instr.Nz t "loop" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

@@ -1,0 +1,27 @@
+(* Shared helpers for workload construction. *)
+
+(* Deterministic input data (small LCG, independent of Stdlib.Random). *)
+let input_words ~seed n =
+  let state = ref (seed land 0x7FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state)
+
+let input_bytes ~seed n = Array.map (fun v -> v land 0xFF) (input_words ~seed n)
+
+(* CRC-32 (IEEE) reference table. *)
+let crc32_table () =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
+
+(* Q14 fixed-point sine table for the FFT twiddles: sin(2*pi*k/n) for
+   k in 0..n-1. *)
+let sin_table_q14 n =
+  Array.init n (fun k ->
+      let x = sin (2. *. Float.pi *. float_of_int k /. float_of_int n) in
+      int_of_float (Float.round (x *. 16384.)))

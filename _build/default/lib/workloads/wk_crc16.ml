@@ -1,0 +1,51 @@
+(* Bitwise CRC-16/CCITT over a 32-byte message, the eight bit steps of
+   each byte fully unrolled (the standard MCU idiom). *)
+
+open Gecko_isa
+module B = Builder
+
+let msg_len = 48
+let poly = 0x1021
+
+let program () =
+  let b = B.program "crc16" in
+  let msg =
+    B.space b "msg" ~words:msg_len ~init:(Wk_common.input_bytes ~seed:23 msg_len) ()
+  in
+  let result = B.space b "result" ~words:1 () in
+  let i = Reg.r0
+  and crc = Reg.r1
+  and byte = Reg.r2
+  and t = Reg.r3
+  and len = Reg.r4
+  and mask16 = Reg.r5 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  B.li b crc 0xFFFF;
+  B.li b len msg_len;
+  B.li b mask16 0xFFFF;
+  B.block b "loop" ~loop_bound:(msg_len / 2);
+  for _ = 1 to 2 do
+    B.ld b byte (B.idx msg i);
+    B.bin b Instr.Shl byte byte (B.imm 8);
+    B.bin b Instr.Xor crc crc (B.reg byte);
+    B.bin b Instr.And crc crc (B.reg mask16);
+    for _ = 1 to 8 do
+      (* crc = crc & 0x8000 ? (crc << 1) ^ poly : crc << 1, masked. *)
+      B.bin b Instr.And t crc (B.imm 0x8000);
+      B.bin b Instr.Shl crc crc (B.imm 1);
+      (* t = t ? poly : 0 — branch-free: t = (t >> 15) * poly. *)
+      B.bin b Instr.Shr t t (B.imm 15);
+      B.bin b Instr.Mul t t (B.imm poly);
+      B.bin b Instr.Xor crc crc (B.reg t);
+      B.bin b Instr.And crc crc (B.reg mask16)
+    done;
+    B.add b i i (B.imm 1)
+  done;
+  B.bin b Instr.Slt t i (B.reg len);
+  B.br b Instr.Nz t "loop" "fin";
+  B.block b "fin";
+  B.st b (B.at result 0) crc;
+  B.halt b;
+  B.finish b

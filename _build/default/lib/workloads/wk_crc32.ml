@@ -1,0 +1,48 @@
+(* Table-driven CRC-32 over a 128-byte message, sixteen bytes per loop
+   iteration (MCU compilers unroll this hot loop; it also keeps region
+   sizes MSP430-realistic, where every 32-bit operation is several
+   16-bit instructions). *)
+
+open Gecko_isa
+module B = Builder
+
+let msg_len = 128
+
+let program () =
+  let b = B.program "crc32" in
+  let table = B.space b "table" ~words:256 ~init:(Wk_common.crc32_table ()) () in
+  let msg =
+    B.space b "msg" ~words:msg_len ~init:(Wk_common.input_bytes ~seed:11 msg_len) ()
+  in
+  let result = B.space b "result" ~words:1 () in
+  let i = Reg.r0
+  and crc = Reg.r1
+  and byte = Reg.r2
+  and idx = Reg.r3
+  and tv = Reg.r4
+  and len = Reg.r5
+  and mask = Reg.r6 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  B.li b crc (-1);
+  (* 0xFFFFFFFF *)
+  B.li b len msg_len;
+  B.li b mask 0xFF;
+  B.block b "loop" ~loop_bound:(msg_len / 16);
+  for _ = 1 to 16 do
+    B.ld b byte (B.idx msg i);
+    B.bin b Instr.Xor idx crc (B.reg byte);
+    B.bin b Instr.And idx idx (B.reg mask);
+    B.ld b tv (B.idx table idx);
+    B.bin b Instr.Shr crc crc (B.imm 8);
+    B.bin b Instr.Xor crc crc (B.reg tv);
+    B.add b i i (B.imm 1)
+  done;
+  B.bin b Instr.Slt idx i (B.reg len);
+  B.br b Instr.Nz idx "loop" "fin";
+  B.block b "fin";
+  B.bin b Instr.Xor crc crc (B.imm (-1));
+  B.st b (B.at result 0) crc;
+  B.halt b;
+  B.finish b

@@ -1,0 +1,107 @@
+(* A Dhrystone-flavoured mix: record copies, string comparison and
+   integer arithmetic, structured as real function calls (exercising the
+   call/return region boundaries and the NVM call stack). *)
+
+open Gecko_isa
+module B = Builder
+
+let iters = 12
+let rec_len = 8
+let str_len = 16
+
+let program () =
+  let b = B.program "dhrystone" in
+  let rec_a =
+    B.space b "rec_a" ~words:rec_len ~init:(Wk_common.input_bytes ~seed:41 rec_len) ()
+  in
+  let rec_b = B.space b "rec_b" ~words:rec_len () in
+  let str_a =
+    B.space b "str_a" ~words:str_len ~init:(Wk_common.input_bytes ~seed:43 str_len) ()
+  in
+  let str_b = B.space b "str_b" ~words:str_len () in
+  let counts = B.space b "counts" ~words:3 () in
+  (* main uses r0-r5; callees use r8-r13 to keep register files disjoint
+     (no callee-save convention in this ISA). *)
+  let it = Reg.r0 and eq = Reg.r1 and t = Reg.r2 and sum = Reg.r3 in
+  let ci = Reg.r8 and cv = Reg.r9 and ct = Reg.r10 and cu = Reg.r11 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b it 0;
+  B.li b sum 0;
+  (* Make str_b a copy of str_a, diverging at the last character every
+     other iteration. *)
+  B.block b "loop" ~loop_bound:iters;
+  B.call b "copy_record" ~ret:"after_copy";
+  B.block b "after_copy";
+  B.call b "copy_string" ~ret:"after_cstr";
+  B.block b "after_cstr";
+  (* Every other iteration, flip the last character of str_b. *)
+  B.bin b Instr.And t it (B.imm 1);
+  B.br b Instr.Z t "compare" "mutate";
+  B.block b "mutate";
+  B.ld b t (B.at str_b (str_len - 1));
+  B.bin b Instr.Xor t t (B.imm 0xFF);
+  B.st b (B.at str_b (str_len - 1)) t;
+  B.block b "compare";
+  B.call b "str_cmp" ~ret:"after_cmp";
+  B.block b "after_cmp";
+  (* str_cmp leaves its verdict in counts[2]. *)
+  B.ld b eq (B.at counts 2);
+  B.add b sum sum (B.reg eq);
+  B.st b (B.at counts 0) sum;
+  B.add b it it (B.imm 1);
+  B.st b (B.at counts 1) it;
+  B.bin b Instr.Slt t it (B.imm iters);
+  B.br b Instr.Nz t "loop" "fin";
+  B.block b "fin";
+  B.halt b;
+  (* copy_record: rec_b[i] = rec_a[i] + 1. *)
+  B.func b "copy_record";
+  B.block b "cr_entry";
+  B.li b ci 0;
+  B.block b "cr_loop" ~loop_bound:(rec_len / 2);
+  for _ = 1 to 2 do
+    B.ld b cv (B.idx rec_a ci);
+    B.add b cv cv (B.imm 1);
+    B.st b (B.idx rec_b ci) cv;
+    B.add b ci ci (B.imm 1)
+  done;
+  B.bin b Instr.Slt ct ci (B.imm rec_len);
+  B.br b Instr.Nz ct "cr_loop" "cr_done";
+  B.block b "cr_done";
+  B.ret b;
+  (* copy_string: str_b = str_a. *)
+  B.func b "copy_string";
+  B.block b "cs_entry";
+  B.li b ci 0;
+  B.block b "cs_loop" ~loop_bound:(str_len / 4);
+  for _ = 1 to 4 do
+    B.ld b cv (B.idx str_a ci);
+    B.st b (B.idx str_b ci) cv;
+    B.add b ci ci (B.imm 1)
+  done;
+  B.bin b Instr.Slt ct ci (B.imm str_len);
+  B.br b Instr.Nz ct "cs_loop" "cs_done";
+  B.block b "cs_done";
+  B.ret b;
+  (* str_cmp: counts[2] = (str_a == str_b). *)
+  B.func b "str_cmp";
+  B.block b "sc_entry";
+  B.li b ci 0;
+  B.li b cu 1;
+  B.block b "sc_loop" ~loop_bound:(str_len / 4);
+  (* Branch-free accumulation of mismatches, four characters per round. *)
+  for _ = 1 to 4 do
+    B.ld b cv (B.idx str_a ci);
+    B.ld b ct (B.idx str_b ci);
+    B.bin b Instr.Sne ct cv (B.reg ct);
+    B.bin b Instr.Seq ct ct (B.imm 0);
+    B.bin b Instr.Mul cu cu (B.reg ct);
+    B.add b ci ci (B.imm 1)
+  done;
+  B.bin b Instr.Slt ct ci (B.imm str_len);
+  B.br b Instr.Nz ct "sc_loop" "sc_done";
+  B.block b "sc_done";
+  B.st b (B.at counts 2) cu;
+  B.ret b;
+  B.finish b

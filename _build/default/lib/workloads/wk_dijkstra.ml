@@ -1,0 +1,116 @@
+(* Dijkstra single-source shortest paths over a 12-node dense adjacency
+   matrix (MiBench dijkstra at sensor scale).  The scan loops handle two
+   nodes per iteration, as an optimizing MCU compiler would unroll
+   them. *)
+
+open Gecko_isa
+module B = Builder
+
+let n = 12
+let inf = 99999
+
+(* A deterministic connected weighted graph. *)
+let adjacency () =
+  let raw = Wk_common.input_words ~seed:101 (n * n) in
+  let m = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let w = (raw.((i * n) + j) mod 23) + 1 in
+        (* Keep roughly half the edges; the ring guarantees connectivity. *)
+        if raw.((j * n) + i) mod 2 = 0 || j = (i + 1) mod n then
+          m.((i * n) + j) <- w
+      end
+    done
+  done;
+  m
+
+let program () =
+  let b = B.program "dijkstra" in
+  let adj = B.space b "adj" ~words:(n * n) ~init:(adjacency ()) () in
+  let dist = B.space b "dist" ~words:n () in
+  let visited = B.space b "visited" ~words:n () in
+  let i = Reg.r0
+  and u = Reg.r1
+  and best = Reg.r2
+  and v = Reg.r3
+  and t = Reg.r4
+  and w = Reg.r5
+  and du = Reg.r6
+  and dv = Reg.r7
+  and addr = Reg.r8
+  and iter = Reg.r9
+  and row = Reg.r10 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b i 0;
+  B.block b "init" ~loop_bound:(n / 4);
+  for _ = 1 to 4 do
+    B.li b t inf;
+    B.st b (B.idx dist i) t;
+    B.li b t 0;
+    B.st b (B.idx visited i) t;
+    B.add b i i (B.imm 1)
+  done;
+  B.bin b Instr.Slt t i (B.imm n);
+  B.br b Instr.Nz t "init" "start";
+  B.block b "start";
+  B.li b t 0;
+  B.st b (B.at dist 0) t;
+  B.li b iter 0;
+  B.block b "outer" ~loop_bound:n;
+  (* Select the unvisited node with minimal distance, two per round. *)
+  B.li b u (-1);
+  B.li b best inf;
+  B.li b v 0;
+  B.block b "select" ~loop_bound:(n / 2);
+  for copy = 0 to 1 do
+    let lbl s = Printf.sprintf "sel_%s%d" s copy in
+    B.ld b t (B.idx visited v);
+    B.br b Instr.Nz t (lbl "next") (lbl "check");
+    B.block b (lbl "check");
+    B.ld b dv (B.idx dist v);
+    B.bin b Instr.Slt t dv (B.reg best);
+    B.br b Instr.Z t (lbl "next") (lbl "take");
+    B.block b (lbl "take");
+    B.mov b best dv;
+    B.mov b u v;
+    B.block b (lbl "next");
+    B.add b v v (B.imm 1)
+  done;
+  B.bin b Instr.Slt t v (B.imm n);
+  B.br b Instr.Nz t "select" "visit";
+  B.block b "visit";
+  B.br b Instr.Ltz u "outer_next" "mark";
+  B.block b "mark";
+  B.li b t 1;
+  B.st b (B.idx visited u) t;
+  B.ld b du (B.idx dist u);
+  B.bin b Instr.Mul row u (B.imm n);
+  (* Relax all edges out of u, two per round. *)
+  B.li b v 0;
+  B.block b "relax" ~loop_bound:(n / 2);
+  for copy = 0 to 1 do
+    let lbl s = Printf.sprintf "rel_%s%d" s copy in
+    B.bin b Instr.Add addr row (B.reg v);
+    B.ld b w (B.idx adj addr);
+    B.br b Instr.Z w (lbl "next") (lbl "check");
+    B.block b (lbl "check");
+    B.ld b dv (B.idx dist v);
+    B.bin b Instr.Add t du (B.reg w);
+    B.bin b Instr.Slt addr t (B.reg dv);
+    B.br b Instr.Z addr (lbl "next") (lbl "doit");
+    B.block b (lbl "doit");
+    B.st b (B.idx dist v) t;
+    B.block b (lbl "next");
+    B.add b v v (B.imm 1)
+  done;
+  B.bin b Instr.Slt t v (B.imm n);
+  B.br b Instr.Nz t "relax" "outer_next";
+  B.block b "outer_next";
+  B.add b iter iter (B.imm 1);
+  B.bin b Instr.Slt t iter (B.imm n);
+  B.br b Instr.Nz t "outer" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

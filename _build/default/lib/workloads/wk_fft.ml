@@ -1,0 +1,114 @@
+(* 32-point radix-2 decimation-in-time FFT in Q14 fixed point, with the
+   twiddle factors in a read-only sine table — the largest kernel of the
+   suite, as in Table III. *)
+
+open Gecko_isa
+module B = Builder
+
+let n = 32
+let bits = 5
+
+let bitrev i =
+  let r = ref 0 in
+  for k = 0 to bits - 1 do
+    if i land (1 lsl k) <> 0 then r := !r lor (1 lsl (bits - 1 - k))
+  done;
+  !r
+
+let program () =
+  let b = B.program "fft" in
+  let sine = B.space b "sine" ~words:n ~init:(Wk_common.sin_table_q14 n) () in
+  let re =
+    B.space b "re" ~words:n
+      ~init:(Array.map (fun v -> (v * 64) - 8192) (Wk_common.input_bytes ~seed:55 n))
+      ()
+  in
+  let im = B.space b "im" ~words:n ~init:(Array.make n 0) () in
+  let len = Reg.r0
+  and half = Reg.r1
+  and step = Reg.r2
+  and i = Reg.r3
+  and k = Reg.r4
+  and a = Reg.r5
+  and bb = Reg.r6
+  and wr = Reg.r7
+  and wi = Reg.r8
+  and tr = Reg.r9
+  and ti = Reg.r10
+  and t1 = Reg.r11
+  and t2 = Reg.r12
+  and t3 = Reg.r13 in
+  B.func b "main";
+  (* Bit-reverse permutation, fully unrolled (compile-time indices). *)
+  B.block b "entry";
+  List.iter
+    (fun idx ->
+      let j = bitrev idx in
+      if j > idx then begin
+        B.ld b t1 (B.at re idx);
+        B.ld b t2 (B.at re j);
+        B.st b (B.at re idx) t2;
+        B.st b (B.at re j) t1;
+        B.ld b t1 (B.at im idx);
+        B.ld b t2 (B.at im j);
+        B.st b (B.at im idx) t2;
+        B.st b (B.at im j) t1
+      end)
+    (List.init n (fun x -> x));
+  B.li b len 2;
+  B.block b "stages" ~loop_bound:bits;
+  B.bin b Instr.Shr half len (B.imm 1);
+  B.li b step n;
+  B.bin b Instr.Div step step (B.reg len);
+  B.li b i 0;
+  B.block b "groups" ~loop_bound:(n / 2);
+  B.li b k 0;
+  B.block b "butterfly" ~loop_bound:(n / 2);
+  (* Twiddle w = exp(-2*pi*j*k/len): wr = cos = sine[(idx + n/4) mod n],
+     wi = -sine[idx]. *)
+  B.bin b Instr.Mul t1 k (B.reg step);
+  B.bin b Instr.Add t2 t1 (B.imm (n / 4));
+  B.bin b Instr.And t2 t2 (B.imm (n - 1));
+  B.ld b wr (B.idx sine t2);
+  B.ld b wi (B.idx sine t1);
+  B.li b t3 0;
+  B.bin b Instr.Sub wi t3 (B.reg wi);
+  B.bin b Instr.Add a i (B.reg k);
+  B.bin b Instr.Add bb a (B.reg half);
+  (* t = w * x[b] in Q14; all loads precede all stores so region
+     formation needs a single anti-dependence cut per butterfly. *)
+  B.ld b t1 (B.idx re bb);
+  B.ld b t2 (B.idx im bb);
+  B.bin b Instr.Mul tr t1 (B.reg wr);
+  B.bin b Instr.Mul t3 t2 (B.reg wi);
+  B.bin b Instr.Sub tr tr (B.reg t3);
+  B.bin b Instr.Sra tr tr (B.imm 14);
+  B.bin b Instr.Mul ti t1 (B.reg wi);
+  B.bin b Instr.Mul t3 t2 (B.reg wr);
+  B.bin b Instr.Add ti ti (B.reg t3);
+  B.bin b Instr.Sra ti ti (B.imm 14);
+  (* Butterfly update: load both halves, then write all four words. *)
+  B.ld b t1 (B.idx re a);
+  B.ld b t2 (B.idx im a);
+  B.bin b Instr.Sub t3 t1 (B.reg tr);
+  B.st b (B.idx re bb) t3;
+  B.bin b Instr.Add t1 t1 (B.reg tr);
+  B.st b (B.idx re a) t1;
+  B.bin b Instr.Sub t3 t2 (B.reg ti);
+  B.st b (B.idx im bb) t3;
+  B.bin b Instr.Add t2 t2 (B.reg ti);
+  B.st b (B.idx im a) t2;
+  B.add b k k (B.imm 1);
+  B.bin b Instr.Slt t1 k (B.reg half);
+  B.br b Instr.Nz t1 "butterfly" "group_next";
+  B.block b "group_next";
+  B.add b i i (B.reg len);
+  B.bin b Instr.Slt t1 i (B.imm n);
+  B.br b Instr.Nz t1 "groups" "stage_next";
+  B.block b "stage_next";
+  B.bin b Instr.Shl len len (B.imm 1);
+  B.bin b Instr.Sle t1 len (B.imm n);
+  B.br b Instr.Nz t1 "stages" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

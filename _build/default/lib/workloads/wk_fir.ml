@@ -1,0 +1,51 @@
+(* 8-tap FIR filter over 48 samples, the tap loop fully unrolled.
+   Coefficients live in a read-only table: their register copies are
+   classic pruning candidates. *)
+
+open Gecko_isa
+module B = Builder
+
+let n_samples = 48
+let n_taps = 8
+
+let program () =
+  let b = B.program "fir" in
+  let coeff =
+    B.space b "coeff" ~words:n_taps ~init:[| 3; -5; 9; 21; 21; 9; -5; 3 |] ()
+  in
+  let x =
+    B.space b "x"
+      ~words:(n_samples + n_taps)
+      ~init:(Wk_common.input_bytes ~seed:37 (n_samples + n_taps))
+      ()
+  in
+  let y = B.space b "y" ~words:n_samples () in
+  let n = Reg.r0
+  and acc = Reg.r1
+  and s = Reg.r2
+  and c = Reg.r3
+  and k = Reg.r4
+  and bound = Reg.r5 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b n 0;
+  B.li b bound n_samples;
+  B.block b "loop" ~loop_bound:(n_samples / 2);
+  for _ = 1 to 2 do
+    B.li b acc 0;
+    for tap = 0 to n_taps - 1 do
+      B.add b k n (B.imm tap);
+      B.ld b s (B.idx x k);
+      B.ld b c (B.at coeff tap);
+      B.mul b s s (B.reg c);
+      B.add b acc acc (B.reg s)
+    done;
+    B.bin b Instr.Sra acc acc (B.imm 6);
+    B.st b (B.idx y n) acc;
+    B.add b n n (B.imm 1)
+  done;
+  B.bin b Instr.Slt k n (B.reg bound);
+  B.br b Instr.Nz k "loop" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

@@ -1,0 +1,90 @@
+(* Iterative quicksort (Lomuto partition) over 48 words with an explicit
+   work stack in NVM — heavy in WAR hazards, so region formation earns
+   its keep here. *)
+
+open Gecko_isa
+module B = Builder
+
+let n = 48
+
+let program () =
+  let b = B.program "qsort" in
+  let arr = B.space b "arr" ~words:n ~init:(Wk_common.input_bytes ~seed:77 n) () in
+  let wstack = B.space b "wstack" ~words:64 () in
+  let sp = Reg.r0
+  and lo = Reg.r1
+  and hi = Reg.r2
+  and pivot = Reg.r3
+  and ii = Reg.r4
+  and j = Reg.r5
+  and a = Reg.r6
+  and t = Reg.r7
+  and u = Reg.r8 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b t 0;
+  B.st b (B.at wstack 0) t;
+  B.li b t (n - 1);
+  B.st b (B.at wstack 1) t;
+  B.li b sp 2;
+  B.block b "work" ~loop_bound:(4 * n);
+  (* Pop (lo, hi). *)
+  B.sub b sp sp (B.imm 2);
+  B.ld b lo (B.idx wstack sp);
+  B.add b t sp (B.imm 1);
+  B.ld b hi (B.idx wstack t);
+  B.bin b Instr.Slt t lo (B.reg hi);
+  B.br b Instr.Z t "work_check" "partition";
+  B.block b "partition";
+  B.ld b pivot (B.idx arr hi);
+  B.mov b ii lo;
+  B.mov b j lo;
+  B.block b "ploop" ~loop_bound:n;
+  (* Two partition steps per round; the second re-checks j < hi. *)
+  B.ld b a (B.idx arr j);
+  B.bin b Instr.Slt t a (B.reg pivot);
+  B.br b Instr.Z t "pnext" "pswap";
+  B.block b "pswap";
+  (* swap arr[ii] <-> arr[j] *)
+  B.ld b u (B.idx arr ii);
+  B.st b (B.idx arr ii) a;
+  B.st b (B.idx arr j) u;
+  B.add b ii ii (B.imm 1);
+  B.block b "pnext";
+  B.add b j j (B.imm 1);
+  B.bin b Instr.Slt t j (B.reg hi);
+  B.br b Instr.Nz t "p2" "pdone";
+  B.block b "p2";
+  B.ld b a (B.idx arr j);
+  B.bin b Instr.Slt t a (B.reg pivot);
+  B.br b Instr.Z t "pnext2" "pswap2";
+  B.block b "pswap2";
+  B.ld b u (B.idx arr ii);
+  B.st b (B.idx arr ii) a;
+  B.st b (B.idx arr j) u;
+  B.add b ii ii (B.imm 1);
+  B.block b "pnext2";
+  B.add b j j (B.imm 1);
+  B.bin b Instr.Slt t j (B.reg hi);
+  B.br b Instr.Nz t "ploop" "pdone";
+  B.block b "pdone";
+  (* swap arr[ii] <-> arr[hi]; push (lo, ii-1) and (ii+1, hi). *)
+  B.ld b a (B.idx arr ii);
+  B.ld b u (B.idx arr hi);
+  B.st b (B.idx arr ii) u;
+  B.st b (B.idx arr hi) a;
+  B.st b (B.idx wstack sp) lo;
+  B.bin b Instr.Sub t ii (B.imm 1);
+  B.add b u sp (B.imm 1);
+  B.st b (B.idx wstack u) t;
+  B.add b sp sp (B.imm 2);
+  B.bin b Instr.Add t ii (B.imm 1);
+  B.st b (B.idx wstack sp) t;
+  B.add b u sp (B.imm 1);
+  B.st b (B.idx wstack u) hi;
+  B.add b sp sp (B.imm 2);
+  B.block b "work_check";
+  B.br b Instr.Gtz sp "work" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b

@@ -1,0 +1,75 @@
+(* Search four 8-byte patterns in a 192-byte text with a branch-free
+   unrolled window compare.  Two patterns occur in the text, two do
+   not. *)
+
+open Gecko_isa
+module B = Builder
+
+let text_len = 192
+let pat_len = 8
+
+let text () =
+  let t = Wk_common.input_bytes ~seed:91 text_len in
+  (* Plant recognizable needles. *)
+  let needle1 = [| 7; 14; 21; 28; 35; 42; 49; 56 |] in
+  let needle2 = [| 9; 9; 8; 8; 7; 7; 6; 6 |] in
+  Array.blit needle1 0 t 40 pat_len;
+  Array.blit needle2 0 t 133 pat_len;
+  (t, needle1, needle2)
+
+let program () =
+  let txt, needle1, needle2 = text () in
+  let b = B.program "stringsearch" in
+  let text_s = B.space b "text" ~words:text_len ~init:txt () in
+  let pats =
+    [
+      ("p0", needle1);
+      ("p1", needle2);
+      ("p2", [| 1; 2; 3; 4; 5; 6; 7; 200 |]);
+      ("p3", [| 250; 250; 250; 250; 1; 1; 1; 1 |]);
+    ]
+  in
+  let pat_spaces =
+    List.map (fun (nm, init) -> (nm, B.space b nm ~words:pat_len ~init ())) pats
+  in
+  let found = B.space b "found" ~words:4 () in
+  let pos = Reg.r0
+  and k = Reg.r1
+  and tc = Reg.r2
+  and pch = Reg.r3
+  and t = Reg.r4
+  and mism = Reg.r5 in
+  B.func b "main";
+  B.block b "entry";
+  B.nop b;
+  List.iteri
+    (fun pi (nm, pspace) ->
+      let lbl s = Printf.sprintf "%s_%s" nm s in
+      B.block b (lbl "init");
+      B.li b pos 0;
+      B.li b t (-1);
+      B.st b (B.at found pi) t;
+      B.block b (lbl "scan") ~loop_bound:(text_len - pat_len + 1);
+      (* Branch-free unrolled comparison: count mismatches over the
+         whole window (the MCU idiom that trades early exit for a
+         predictable, fat loop body). *)
+      B.li b mism 0;
+      for j = 0 to pat_len - 1 do
+        B.add b k pos (B.imm j);
+        B.ld b tc (B.idx text_s k);
+        B.ld b pch (B.at pspace j);
+        B.bin b Instr.Sne t tc (B.reg pch);
+        B.bin b Instr.Add mism mism (B.reg t)
+      done;
+      B.br b Instr.Z mism (lbl "hit") (lbl "miss");
+      B.block b (lbl "hit");
+      B.st b (B.at found pi) pos;
+      B.jmp b (lbl "done");
+      B.block b (lbl "miss");
+      B.add b pos pos (B.imm 1);
+      B.bin b Instr.Sle t pos (B.imm (text_len - pat_len));
+      B.br b Instr.Nz t (lbl "scan") (lbl "done");
+      B.block b (lbl "done"))
+    pat_spaces;
+  B.halt b;
+  B.finish b

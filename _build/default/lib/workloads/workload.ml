@@ -1,0 +1,73 @@
+open Gecko_isa
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Cfg.program;
+}
+
+let all =
+  [
+    {
+      name = "basicmath";
+      description = "integer sqrt, angle conversion, cubic eval, gcd";
+      build = Wk_basicmath.program;
+    };
+    {
+      name = "bitcnt";
+      description = "SWAR and table-driven bit counting over 64 words";
+      build = Wk_bitcnt.program;
+    };
+    {
+      name = "blink";
+      description = "GPIO LED toggle with busy-wait delay";
+      build = Wk_blink.program;
+    };
+    {
+      name = "crc16";
+      description = "bitwise CRC-16/CCITT over a 32-byte message";
+      build = Wk_crc16.program;
+    };
+    {
+      name = "crc32";
+      description = "table-driven CRC-32 over a 64-byte message";
+      build = Wk_crc32.program;
+    };
+    {
+      name = "dhrystone";
+      description = "record copies, string compare and arithmetic via calls";
+      build = Wk_dhrystone.program;
+    };
+    {
+      name = "dijkstra";
+      description = "single-source shortest paths on a 12-node dense graph";
+      build = Wk_dijkstra.program;
+    };
+    {
+      name = "fft";
+      description = "32-point radix-2 fixed-point FFT (Q14)";
+      build = Wk_fft.program;
+    };
+    {
+      name = "fir";
+      description = "8-tap FIR filter over 48 samples";
+      build = Wk_fir.program;
+    };
+    {
+      name = "qsort";
+      description = "iterative quicksort of 48 words with an NVM work stack";
+      build = Wk_qsort.program;
+    };
+    {
+      name = "stringsearch";
+      description = "four 8-byte pattern searches in a 192-byte text";
+      build = Wk_stringsearch.program;
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names = List.map (fun w -> w.name) all

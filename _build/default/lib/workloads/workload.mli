@@ -1,0 +1,24 @@
+(** The benchmark applications of the paper's evaluation (a MiBench-style
+    suite, Table III): basicmath, bitcnt, blink, crc16, crc32, dhrystone,
+    dijkstra, fft, fir, qsort, stringsearch.
+
+    Each kernel is built with the {!Gecko_isa.Builder} at MCU scale (small
+    working sets in NVM), terminates with [Halt], and leaves its results
+    in its data spaces so crash consistency can be checked by diffing the
+    final data segment against an uninterrupted golden run. *)
+
+open Gecko_isa
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Cfg.program;
+}
+
+val all : t list
+(** Table III order. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val names : string list

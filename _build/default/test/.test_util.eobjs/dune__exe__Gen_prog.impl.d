@@ -1,0 +1,1 @@
+test/gen_prog.ml: Array Builder Gecko_isa Gecko_util Instr Printf Reg

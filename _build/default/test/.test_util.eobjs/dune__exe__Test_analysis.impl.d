@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Builder Cfg Gecko_analysis Gecko_core Gecko_isa Instr List Reg

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Builder Cfg Format Gecko_analysis Gecko_core Gecko_isa Hashtbl Instr List Reg String

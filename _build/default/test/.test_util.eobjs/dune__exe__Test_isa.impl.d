@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Builder Cfg Gecko_isa Instr Link List Reg String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Builder Cfg Gecko_core Gecko_devices Gecko_energy Gecko_isa Gecko_machine Gecko_workloads Instr Link List Reg

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Float Gecko_emi Gecko_energy Gecko_mem Gecko_monitor

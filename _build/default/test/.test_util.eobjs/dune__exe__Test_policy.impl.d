@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Gecko_core Gecko_emi Gecko_energy Gecko_harness Gecko_isa Gecko_machine Link List

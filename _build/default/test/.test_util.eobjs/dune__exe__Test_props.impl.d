@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Asm Float Gecko_core Gecko_devices Gecko_emi Gecko_energy Gecko_isa Gecko_machine Gen_prog Link List Printf QCheck QCheck_alcotest

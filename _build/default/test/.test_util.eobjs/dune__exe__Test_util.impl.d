@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Gecko_util List String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Float Gecko_core Gecko_devices Gecko_energy Gecko_isa Gecko_machine Gecko_workloads Instr Link List Printf

@@ -1,0 +1,138 @@
+(* Unit tests for GECKO's detection/mode state machine and the attack
+   end-to-end behaviour of the machine. *)
+
+module P = Gecko_core.Policy
+module Core = Gecko_core
+module M = Gecko_machine
+open Gecko_isa
+
+let ok = { P.ack_ok = true; progress = true }
+
+let test_normal_operation () =
+  (* Healthy boots stay in JIT and roll forward. *)
+  let m, a, d = P.on_boot P.Jit_on ok in
+  Alcotest.(check bool) "stays jit" true (m = P.Jit_on);
+  Alcotest.(check bool) "resumes" true (a = P.Resume_jit);
+  Alcotest.(check bool) "no detection" false d
+
+let test_ack_detection () =
+  let m, a, d = P.on_boot P.Jit_on { P.ack_ok = false; progress = true } in
+  Alcotest.(check bool) "drops to idempotent" true (m = P.Idempotent);
+  Alcotest.(check bool) "rolls back" true (a = P.Rollback);
+  Alcotest.(check bool) "detected" true d
+
+let test_progress_detection () =
+  let _, a, d = P.on_boot P.Jit_on { P.ack_ok = true; progress = false } in
+  Alcotest.(check bool) "rolls back" true (a = P.Rollback);
+  Alcotest.(check bool) "detected" true d
+
+let test_probe_cycle () =
+  (* Idempotent -> probe at reboot; quiet first region -> back to JIT. *)
+  let m, a, _ = P.on_boot P.Idempotent ok in
+  Alcotest.(check bool) "probes" true (m = P.Probe && a = P.Rollback);
+  Alcotest.(check bool) "commit re-enables" true (P.on_region_commit P.Probe = P.Jit_on);
+  (* A signal during the probe means the attack persists. *)
+  let m, act, d = P.on_backup_signal P.Probe ~early:false in
+  Alcotest.(check bool) "back to idempotent" true
+    (m = P.Idempotent && act = P.Rollback_inline && d)
+
+let test_timer_detection () =
+  let m, act, d = P.on_backup_signal P.Jit_on ~early:true in
+  Alcotest.(check bool) "early signal rejected" true
+    (m = P.Idempotent && act = P.Rollback_inline && d);
+  let m, act, d = P.on_backup_signal P.Jit_on ~early:false in
+  Alcotest.(check bool) "genuine signal trusted" true
+    (m = P.Jit_on && act = P.Checkpoint_and_sleep && not d)
+
+let test_monitor_gating () =
+  Alcotest.(check bool) "closed under attack" false (P.monitor_enabled P.Idempotent);
+  Alcotest.(check bool) "open in probe" true (P.monitor_enabled P.Probe);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "mode roundtrip" true
+        (P.mode_of_int (P.mode_to_int m) = m))
+    [ P.Jit_on; P.Idempotent; P.Probe ]
+
+(* End-to-end attack behaviour. *)
+
+let run_attacked scheme freq =
+  let prog = Gecko_harness.Workbench.sense_app () in
+  let p, meta = Core.Pipeline.compile scheme prog in
+  let image = Link.link p in
+  let board = M.Board.attack_rig () in
+  M.Machine.run ~board ~image ~meta
+    {
+      M.Machine.default_options with
+      schedule =
+        Gecko_emi.Schedule.always
+          (Gecko_emi.Attack.remote ~distance_m:0.1
+             (Gecko_emi.Signal.make ~freq_mhz:freq ~power_dbm:20.));
+      limit = M.Machine.Sim_time 0.3;
+      restart_on_halt = true;
+      max_sim_time = 1.;
+    }
+
+let test_nvp_dos_at_resonance () =
+  let resonant = run_attacked Core.Scheme.Nvp 27. in
+  let immune = run_attacked Core.Scheme.Nvp 200. in
+  let r o = M.Machine.forward_progress o in
+  Alcotest.(check bool) "resonance collapses progress" true
+    (r resonant < 0.1 *. r immune);
+  Alcotest.(check bool) "off-resonance unaffected" true (r immune > 0.5)
+
+let test_gecko_survives_attack () =
+  let o = run_attacked Core.Scheme.Gecko 27. in
+  Alcotest.(check bool) "detected" true (o.M.Machine.detections > 0);
+  Alcotest.(check bool) "keeps working" true
+    (M.Machine.forward_progress o > 0.3);
+  Alcotest.(check bool) "attack surface closed" true
+    (o.M.Machine.final_mode = P.Idempotent)
+
+let test_gecko_reenables_after_attack () =
+  let prog = Gecko_harness.Workbench.sense_app () in
+  let p, meta = Core.Pipeline.compile Core.Scheme.Gecko prog in
+  let image = Link.link p in
+  let harvester =
+    Gecko_energy.Harvester.square_wave ~period:0.05 ~duty:0.5
+      (Gecko_energy.Harvester.thevenin ~v_source:3.3 ~r_source:150.)
+  in
+  let board = { (M.Board.attack_rig ()) with M.Board.harvester } in
+  let o =
+    M.Machine.run ~board ~image ~meta
+      {
+        M.Machine.default_options with
+        schedule =
+          Gecko_emi.Schedule.make
+            [
+              Gecko_emi.Schedule.window ~t_start:0.1 ~t_end:0.3
+                (Gecko_emi.Attack.remote ~distance_m:0.1
+                   (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:20.));
+            ];
+        limit = M.Machine.Sim_time 0.6;
+        restart_on_halt = true;
+        max_sim_time = 1.;
+      }
+  in
+  Alcotest.(check bool) "detected during window" true (o.M.Machine.detections > 0);
+  Alcotest.(check bool) "re-enabled after" true (o.M.Machine.reenables > 0);
+  Alcotest.(check bool) "back to JIT" true (o.M.Machine.final_mode = P.Jit_on)
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "state-machine",
+        [
+          Alcotest.test_case "normal operation" `Quick test_normal_operation;
+          Alcotest.test_case "ACK detection" `Quick test_ack_detection;
+          Alcotest.test_case "progress detection" `Quick test_progress_detection;
+          Alcotest.test_case "probe cycle" `Quick test_probe_cycle;
+          Alcotest.test_case "timer detection" `Quick test_timer_detection;
+          Alcotest.test_case "monitor gating" `Quick test_monitor_gating;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "NVP DoS at resonance" `Quick test_nvp_dos_at_resonance;
+          Alcotest.test_case "GECKO survives attack" `Quick test_gecko_survives_attack;
+          Alcotest.test_case "GECKO re-enables" `Quick test_gecko_reenables_after_attack;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Property-based tests: random programs through the whole stack.
+
+   The central properties mirror the paper's guarantees:
+   - every scheme is crash-consistent under arbitrary outage trains;
+   - GECKO additionally stays crash-consistent while a resonant EMI
+     attack manipulates the voltage monitor;
+   - the compiler's static invariants (idempotence, slot colouring,
+     accounting) hold on every generated program. *)
+
+open Gecko_isa
+module Core = Gecko_core
+module M = Gecko_machine
+module H = Gecko_energy.Harvester
+
+let compile scheme seed = Core.Pipeline.compile scheme (Gen_prog.generate seed)
+
+(* Outage-prone board: tiny storage, weak harvester, fast boots. *)
+let crashy_board () =
+  let device =
+    let d = Gecko_devices.Catalog.evaluation_board in
+    {
+      d with
+      Gecko_devices.Device.core =
+        {
+          d.Gecko_devices.Device.core with
+          Gecko_devices.Device.reboot_latency = 2e-4;
+          reboot_energy = 6e-7;
+        };
+    }
+  in
+  {
+    (M.Board.default ~device
+       ~harvester:(H.thevenin ~v_source:3.3 ~r_source:2000.) ())
+    with
+    M.Board.capacitance = 0.6e-6;
+  }
+
+let run_to_completion ~board ~image ~meta ~schedule =
+  M.Machine.run_with_nvm ~board ~image ~meta
+    {
+      M.Machine.default_options with
+      schedule;
+      max_sim_time = 120.;
+      seed = 3;
+    }
+
+let crash_consistent scheme ~attacked seed =
+  let p, meta = compile scheme seed in
+  let image = Link.link p in
+  let board = crashy_board () in
+  let golden = M.Machine.golden_nvm ~board ~image ~meta in
+  let schedule =
+    if attacked then
+      Gecko_emi.Schedule.always
+        (Gecko_emi.Attack.remote ~distance_m:0.1
+           (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:20.))
+    else Gecko_emi.Schedule.empty
+  in
+  let o, nvm = run_to_completion ~board ~image ~meta ~schedule in
+  o.M.Machine.completions = 1 && nvm = golden
+
+let seed_gen = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 99999)
+
+let prop_crash_consistency scheme =
+  QCheck.Test.make ~count:60
+    ~name:
+      (Printf.sprintf "%s crash-consistent on random programs"
+         (Core.Scheme.to_string scheme))
+    seed_gen
+    (fun seed -> crash_consistent scheme ~attacked:false seed)
+
+let prop_gecko_under_attack =
+  QCheck.Test.make ~count:50
+    ~name:"GECKO crash-consistent under resonant EMI attack" seed_gen
+    (fun seed -> crash_consistent Core.Scheme.Gecko ~attacked:true seed)
+
+let prop_compiler_invariants =
+  QCheck.Test.make ~count:120 ~name:"compiler invariants on random programs"
+    seed_gen (fun seed ->
+      let p, meta = compile Core.Scheme.Gecko seed in
+      let s = meta.Core.Meta.stats in
+      (* Verification passes already ran inside the pipeline; re-check the
+         externally visible invariants. *)
+      Core.Regions.violations p = []
+      && Core.Verify.coloring p meta = Ok ()
+      && s.Core.Meta.kept + s.Core.Meta.pruned = s.Core.Meta.candidates
+      && Core.Pipeline.checkpoint_store_count p = s.Core.Meta.kept)
+
+let prop_cross_scheme_agreement =
+  QCheck.Test.make ~count:25
+    ~name:"all schemes compute the same final state" seed_gen (fun seed ->
+      let board = M.Board.default () in
+      let final scheme =
+        let p, meta = compile scheme seed in
+        let image = Link.link p in
+        let _, nvm =
+          M.Machine.run_with_nvm ~board ~image ~meta
+            M.Machine.default_options
+        in
+        nvm
+      in
+      let reference = final Core.Scheme.Nvp in
+      List.for_all
+        (fun s -> final s = reference)
+        [ Core.Scheme.Ratchet; Core.Scheme.Gecko_noprune; Core.Scheme.Gecko ])
+
+(* Physics-level properties. *)
+
+let prop_capacitor_bounds =
+  QCheck.Test.make ~count:200 ~name:"capacitor voltage stays in range"
+    QCheck.(triple (float_bound_inclusive 3.3) pos_float pos_float)
+    (fun (v0, joules, amps) ->
+      let c =
+        Gecko_energy.Capacitor.create ~capacitance:1e-4 ~v_max:3.3 ~v_init:v0
+      in
+      ignore (Gecko_energy.Capacitor.drain c (Float.min joules 1.0));
+      Gecko_energy.Capacitor.source_current c ~amps:(Float.min amps 10.)
+        ~dt:1e-3;
+      let v = Gecko_energy.Capacitor.voltage c in
+      v >= 0. && v <= 3.3)
+
+let prop_path_loss_monotone =
+  QCheck.Test.make ~count:100 ~name:"induced amplitude decays with distance"
+    QCheck.(pair (float_range 0.1 4.9) (float_range 0.05 1.0))
+    (fun (d, step) ->
+      let profile = Gecko_emi.Coupling.profile [ Gecko_emi.Coupling.peak ~f0_mhz:27. ~half_width_mhz:6. ~gain:3. ] in
+      let amp dist =
+        Gecko_emi.Attack.induced_amplitude ~profile
+          (Gecko_emi.Attack.remote ~distance_m:dist
+             (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:30.))
+      in
+      amp d >= amp (d +. step))
+
+let prop_amplitude_monotone_power =
+  QCheck.Test.make ~count:100 ~name:"induced amplitude grows with power"
+    QCheck.(pair (float_range 0. 30.) (float_range 0.1 5.))
+    (fun (p, dp) ->
+      let profile = Gecko_emi.Coupling.profile [ Gecko_emi.Coupling.peak ~f0_mhz:27. ~half_width_mhz:6. ~gain:3. ] in
+      let amp power =
+        Gecko_emi.Attack.induced_amplitude ~profile
+          (Gecko_emi.Attack.remote ~distance_m:1.
+             (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:power))
+      in
+      amp (p +. dp) >= amp p)
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~count:120 ~name:"assembly round-trips" seed_gen (fun seed ->
+      let p = Gen_prog.generate seed in
+      let text = Asm.to_string p in
+      match Asm.parse text with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok p' -> Asm.to_string p' = text)
+
+let prop_machine_deterministic =
+  QCheck.Test.make ~count:20 ~name:"simulation is deterministic" seed_gen
+    (fun seed ->
+      let p, meta = compile Core.Scheme.Gecko seed in
+      let image = Link.link p in
+      let board = crashy_board () in
+      let once () =
+        let o, nvm = run_to_completion ~board ~image ~meta ~schedule:Gecko_emi.Schedule.empty in
+        (o.M.Machine.completions, o.M.Machine.reboots, o.M.Machine.sim_time, nvm)
+      in
+      once () = once ())
+
+(* Dynamic WCET: on steady power, consecutive boundary commits are never
+   further apart than the compile-time budget. *)
+let prop_dynamic_budget =
+  QCheck.Test.make ~count:20 ~name:"runtime spans respect the budget" seed_gen
+    (fun seed ->
+      let budget = 150 in
+      let p, meta =
+        Core.Pipeline.compile ~budget_cycles:budget Core.Scheme.Gecko
+          (Gen_prog.generate seed)
+      in
+      ignore meta;
+      (* Static check is authoritative; it already ran in the pipeline.
+         Re-assert the exposed invariant. *)
+      Core.Verify.wcet ~budget p = Ok ())
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "crash-consistency",
+        q
+          [
+            prop_crash_consistency Core.Scheme.Nvp;
+            prop_crash_consistency Core.Scheme.Ratchet;
+            prop_crash_consistency Core.Scheme.Gecko_noprune;
+            prop_crash_consistency Core.Scheme.Gecko;
+            prop_gecko_under_attack;
+          ] );
+      ( "compiler",
+        q [ prop_compiler_invariants; prop_cross_scheme_agreement ] );
+      ("asm", q [ prop_asm_roundtrip ]);
+      ( "machine",
+        q [ prop_machine_deterministic; prop_dynamic_budget ] );
+      ( "physics",
+        q
+          [
+            prop_capacitor_bounds;
+            prop_path_loss_monotone;
+            prop_amplitude_monotone_power;
+          ] );
+    ]

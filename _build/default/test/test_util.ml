@@ -1,0 +1,76 @@
+let test_rng_determinism () =
+  let a = Gecko_util.Rng.create 42 and b = Gecko_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Gecko_util.Rng.bits64 a)
+      (Gecko_util.Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Gecko_util.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Gecko_util.Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13);
+    let f = Gecko_util.Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5);
+    let x = Gecko_util.Rng.range r (-5) 5 in
+    Alcotest.(check bool) "range inclusive" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Gecko_util.Rng.create 1 in
+  let b = Gecko_util.Rng.split a in
+  Alcotest.(check bool) "streams differ" true
+    (Gecko_util.Rng.bits64 a <> Gecko_util.Rng.bits64 b)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats () =
+  let module S = Gecko_util.Stats in
+  Alcotest.check feq "mean" 2.5 (S.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check feq "geomean" 2. (S.geomean [ 1.; 4. ]);
+  Alcotest.check feq "median" 2.5 (S.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check feq "p0" 1. (S.percentile 0. [ 3.; 1.; 2. ]);
+  Alcotest.check feq "p100" 3. (S.percentile 100. [ 3.; 1.; 2. ]);
+  Alcotest.check feq "clamp" 1. (S.clamp ~lo:0. ~hi:1. 5.);
+  Alcotest.check feq "mean empty" 0. (S.mean []);
+  let s = S.summarize [ 1.; 2.; 3. ] in
+  Alcotest.(check int) "summary n" 3 s.S.n
+
+let test_table () =
+  let module T = Gecko_util.Table in
+  let t = T.create ~header:[ "a"; "b" ] () in
+  T.add_row t [ "x"; "1" ];
+  T.add_sep t;
+  T.add_row t [ "yy"; "22" ];
+  let s = T.render t in
+  Alcotest.(check bool) "contains rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> l = "| yy | 22 |"));
+  (match T.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity check");
+  Alcotest.(check string) "pct" "12.50%" (T.cell_pct 0.125)
+
+let test_chart () =
+  let module C = Gecko_util.Chart in
+  let s =
+    C.line_plot ~width:20 ~height:5
+      [ { C.label = "x"; points = [ (0., 0.); (1., 1.) ] } ]
+  in
+  Alcotest.(check bool) "plots something" true (String.contains s '*');
+  let b = C.bar_chart [ ("a", 1.); ("b", 2.) ] in
+  Alcotest.(check bool) "bars" true (String.contains b '#')
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+      ("render", [ Alcotest.test_case "table" `Quick test_table;
+                   Alcotest.test_case "chart" `Quick test_chart ]);
+    ]

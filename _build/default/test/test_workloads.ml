@@ -1,0 +1,291 @@
+open Gecko_isa
+module Core = Gecko_core
+module M = Gecko_machine
+module W = Gecko_workloads
+module H = Gecko_energy.Harvester
+
+let compile_and_link scheme prog =
+  let p, meta = Core.Pipeline.compile scheme prog in
+  (Link.link p, meta)
+
+let space_snapshot image nvm name =
+  let space = Cfg.find_space image.Link.prog name in
+  let base = image.Link.space_base.(space.Instr.space_id) in
+  Array.sub nvm base space.Instr.space_words
+
+let run_once scheme w =
+  let image, meta = compile_and_link scheme ((W.Workload.find w).W.Workload.build ()) in
+  let board = M.Board.default () in
+  let o, nvm = M.Machine.run_with_nvm ~board ~image ~meta M.Machine.default_options in
+  Alcotest.(check int) (w ^ " completes") 1 o.M.Machine.completions;
+  (image, nvm)
+
+(* Reference CRC-32 in OCaml over the same message. *)
+let crc32_ref bytes =
+  let table = Gecko_workloads.Wk_common.crc32_table () in
+  let crc = ref 0xFFFFFFFF in
+  Array.iter
+    (fun b ->
+      let idx = (!crc lxor b) land 0xFF in
+      crc := (!crc lsr 8) lxor table.(idx))
+    bytes;
+  !crc lxor 0xFFFFFFFF
+
+let test_crc32_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "crc32" in
+  let msg = space_snapshot image nvm "msg" in
+  let got = (space_snapshot image nvm "result").(0) land 0xFFFFFFFF in
+  Alcotest.(check int) "crc32 value" (crc32_ref msg) got
+
+let test_qsort_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "qsort" in
+  let arr = space_snapshot image nvm "arr" in
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "sorted" sorted arr;
+  (* Same multiset as the input. *)
+  let input =
+    Array.map (fun v -> v land 0xFF) (W.Wk_common.input_bytes ~seed:77 48)
+  in
+  Array.sort compare input;
+  Alcotest.(check (array int)) "permutation of input" input arr
+
+let test_dijkstra_semantics () =
+  let image, nvm = run_once Core.Scheme.Nvp "dijkstra" in
+  let dist = space_snapshot image nvm "dist" in
+  let adj = space_snapshot image nvm "adj" in
+  (* Reference Dijkstra over the same adjacency matrix. *)
+  let n = Array.length dist in
+  let inf = 99999 in
+  let d = Array.make n inf and visited = Array.make n false in
+  d.(0) <- 0;
+  for _ = 1 to n do
+    let u = ref (-1) and best = ref inf in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && d.(v) < !best then begin
+        best := d.(v);
+        u := v
+      end
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      for v = 0 to n - 1 do
+        let w = adj.((!u * n) + v) in
+        if w > 0 && d.(!u) + w < d.(v) then d.(v) <- d.(!u) + w
+      done
+    end
+  done;
+  Alcotest.(check (array int)) "distances" d dist
+
+let test_fft_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "fft" in
+  let re = space_snapshot image nvm "re" in
+  let im = space_snapshot image nvm "im" in
+  (* Reference float DFT over the original (time-domain) inputs. *)
+  let n = Array.length re in
+  let inputs =
+    Array.map
+      (fun v -> float_of_int ((v * 64) - 8192))
+      (W.Wk_common.input_bytes ~seed:55 n)
+  in
+  Array.iteri
+    (fun k _ ->
+      let racc = ref 0. and iacc = ref 0. in
+      Array.iteri
+        (fun t x ->
+          let ang = -2. *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+          racc := !racc +. (x *. cos ang);
+          iacc := !iacc +. (x *. sin ang))
+        inputs;
+      (* Q14 twiddles accumulate rounding over log2 n stages. *)
+      let tol = 3500. in
+      Alcotest.(check bool)
+        (Printf.sprintf "re[%d] %.0f vs %d" k !racc re.(k))
+        true
+        (Float.abs (!racc -. float_of_int re.(k)) < tol);
+      Alcotest.(check bool)
+        (Printf.sprintf "im[%d] %.0f vs %d" k !iacc im.(k))
+        true
+        (Float.abs (!iacc -. float_of_int im.(k)) < tol))
+    re
+
+
+let test_crc16_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "crc16" in
+  let msg = space_snapshot image nvm "msg" in
+  (* Reference CRC-16/CCITT (false start 0xFFFF). *)
+  let crc = ref 0xFFFF in
+  Array.iter
+    (fun b ->
+      crc := (!crc lxor (b lsl 8)) land 0xFFFF;
+      for _ = 1 to 8 do
+        if !crc land 0x8000 <> 0 then
+          crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+        else crc := (!crc lsl 1) land 0xFFFF
+      done)
+    msg;
+  Alcotest.(check int) "crc16 value" !crc
+    (space_snapshot image nvm "result").(0)
+
+let test_bitcnt_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "bitcnt" in
+  let data = space_snapshot image nvm "data" in
+  let popcount16 v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+    go (v land 0xFFFF) 0
+  in
+  let expected = Array.fold_left (fun acc v -> acc + popcount16 v) 0 data in
+  let result = space_snapshot image nvm "result" in
+  Alcotest.(check int) "swar counter" expected result.(0);
+  Alcotest.(check int) "table counter" expected result.(1)
+
+let test_fir_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "fir" in
+  let x = space_snapshot image nvm "x" in
+  let coeff = space_snapshot image nvm "coeff" in
+  let y = space_snapshot image nvm "y" in
+  Array.iteri
+    (fun n got ->
+      let acc = ref 0 in
+      Array.iteri (fun t c -> acc := !acc + (x.(n + t) * c)) coeff;
+      Alcotest.(check int) (Printf.sprintf "y[%d]" n) (!acc asr 6) got)
+    y
+
+let test_basicmath_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "basicmath" in
+  let data = space_snapshot image nvm "data" in
+  let roots = space_snapshot image nvm "roots" in
+  Array.iteri
+    (fun i r ->
+      (* Newton with fixed iterations converges to isqrt within 1. *)
+      let exact = int_of_float (sqrt (float_of_int data.(i))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "isqrt(%d)=%d (got %d)" data.(i) exact r)
+        true
+        (abs (r - exact) <= 1))
+    roots;
+  let gcds = space_snapshot image nvm "gcds" in
+  Array.iteri
+    (fun i g ->
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      Alcotest.(check int)
+        (Printf.sprintf "gcd pair %d" i)
+        (gcd data.(2 * i) data.((2 * i) + 1))
+        g)
+    gcds
+
+let test_stringsearch_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "stringsearch" in
+  let found = space_snapshot image nvm "found" in
+  (* Patterns 0 and 1 are planted at 40 and 133; 2 and 3 are absent. *)
+  Alcotest.(check int) "needle1" 40 found.(0);
+  Alcotest.(check int) "needle2" 133 found.(1);
+  Alcotest.(check int) "absent" (-1) found.(2);
+  Alcotest.(check int) "absent2" (-1) found.(3)
+
+let test_dhrystone_semantics () =
+  let image, nvm = run_once Core.Scheme.Gecko "dhrystone" in
+  let counts = space_snapshot image nvm "counts" in
+  (* 12 iterations; the string comparison succeeds on even iterations
+     (no mutation) and fails on odd ones. *)
+  Alcotest.(check int) "iterations" 12 counts.(1);
+  Alcotest.(check int) "equal count" 6 counts.(0);
+  let rec_a = space_snapshot image nvm "rec_a" in
+  let rec_b = space_snapshot image nvm "rec_b" in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "record copy" (rec_a.(i) + 1) v)
+    rec_b
+
+(* Cross-scheme determinism: all schemes compute the same final data
+   segment on continuous power. *)
+let test_cross_scheme_agreement () =
+  List.iter
+    (fun w ->
+      let prog_of s = compile_and_link s ((W.Workload.find w).W.Workload.build ()) in
+      let board = M.Board.default () in
+      let run s =
+        let image, meta = prog_of s in
+        let _, nvm =
+          M.Machine.run_with_nvm ~board ~image ~meta M.Machine.default_options
+        in
+        (image, nvm)
+      in
+      let _, ref_nvm = run Core.Scheme.Nvp in
+      List.iter
+        (fun s ->
+          let _, nvm = run s in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s/%s matches NVP" w (Core.Scheme.to_string s))
+            ref_nvm nvm)
+        [ Core.Scheme.Ratchet; Core.Scheme.Gecko_noprune; Core.Scheme.Gecko ])
+    W.Workload.names
+
+(* Crash consistency: a tiny storage capacitor, a weak harvester and a
+   fast-booting part force many power cycles per run; the final data
+   segment must match an uninterrupted golden run for every workload and
+   scheme. *)
+let test_crash_consistency () =
+  let harvester = H.thevenin ~v_source:3.3 ~r_source:2000. in
+  let device =
+    let d = Gecko_devices.Catalog.evaluation_board in
+    {
+      d with
+      Gecko_devices.Device.core =
+        {
+          d.Gecko_devices.Device.core with
+          Gecko_devices.Device.reboot_latency = 2e-4;
+          reboot_energy = 6e-7;
+        };
+    }
+  in
+  let total_reboots = ref 0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun scheme ->
+          let image, meta =
+            compile_and_link scheme ((W.Workload.find w).W.Workload.build ())
+          in
+          let board =
+            { (M.Board.default ~device ~harvester ()) with M.Board.capacitance = 0.6e-6 }
+          in
+          let golden = M.Machine.golden_nvm ~board ~image ~meta in
+          let opts =
+            { M.Machine.default_options with max_sim_time = 60.; seed = 13 }
+          in
+          let o, nvm = M.Machine.run_with_nvm ~board ~image ~meta opts in
+          total_reboots := !total_reboots + o.M.Machine.reboots;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s completes" w (Core.Scheme.to_string scheme))
+            1 o.M.Machine.completions;
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s/%s crash-consistent" w (Core.Scheme.to_string scheme))
+            golden nvm)
+        Core.Scheme.all)
+    W.Workload.names;
+  Alcotest.(check bool) "outages actually happened" true (!total_reboots > 40)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "crc32" `Quick test_crc32_semantics;
+          Alcotest.test_case "crc16" `Quick test_crc16_semantics;
+          Alcotest.test_case "bitcnt" `Quick test_bitcnt_semantics;
+          Alcotest.test_case "fir" `Quick test_fir_semantics;
+          Alcotest.test_case "basicmath" `Quick test_basicmath_semantics;
+          Alcotest.test_case "stringsearch" `Quick test_stringsearch_semantics;
+          Alcotest.test_case "dhrystone" `Quick test_dhrystone_semantics;
+          Alcotest.test_case "qsort" `Quick test_qsort_semantics;
+          Alcotest.test_case "dijkstra" `Quick test_dijkstra_semantics;
+          Alcotest.test_case "fft" `Quick test_fft_semantics;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "cross-scheme agreement" `Quick
+            test_cross_scheme_agreement;
+          Alcotest.test_case "crash consistency under outages" `Slow
+            test_crash_consistency;
+        ] );
+    ]
