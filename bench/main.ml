@@ -4,11 +4,16 @@
 
    Fidelity: `GECKO_BENCH=full` runs the sweep densities recorded in
    EXPERIMENTS.md; the default quick mode uses coarser grids and shorter
-   simulated durations (same code paths). *)
+   simulated durations (same code paths).
+
+   Besides the ASCII report on stdout, the harness writes
+   BENCH_results.json (override with GECKO_BENCH_OUT): each experiment's
+   headline scalars plus the micro-benchmark ns/run estimates. *)
 
 module E = Gecko_harness.Experiments
 module Core = Gecko_core
 module W = Gecko_workloads.Workload
+module Json = Gecko_obs.Json
 open Gecko_isa
 
 let fidelity =
@@ -21,12 +26,13 @@ let banner name =
     (String.make 74 '=')
 
 let regenerate () =
-  List.iter
-    (fun (name, text) ->
+  List.map
+    (fun (name, (a : E.artifact)) ->
       banner name;
-      print_string text;
-      flush stdout)
-    (E.all fidelity)
+      print_string a.E.text;
+      flush stdout;
+      (name, a.E.metrics))
+    (E.all_artifacts fidelity)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -110,15 +116,53 @@ let micro_benchmarks () =
       in
       rows := (name, ns) :: !rows)
     results;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+  in
   List.iter
-    (fun (name, ns) -> Printf.printf "%-40s %14.0f ns/run\n" name ns)
-    (List.sort compare !rows)
+    (fun (name, ns) ->
+      (* Bechamel's OLS fit degenerates to nan when the quota is too
+         tight for a stable estimate; don't print a misleading number. *)
+      if Float.is_nan ns then Printf.printf "%-40s %14s\n" name "n/a"
+      else Printf.printf "%-40s %14.0f ns/run\n" name ns)
+    rows;
+  rows
+
+let results_json ~experiments ~micro =
+  let metric_obj ms =
+    Json.Assoc
+      (List.map
+         (fun (k, v) ->
+           (k, if Float.is_nan v then Json.Null else Json.Float v))
+         ms)
+  in
+  Json.Assoc
+    [
+      ("schema", Json.String "gecko-bench-v1");
+      ( "fidelity",
+        Json.String (match fidelity with E.Quick -> "quick" | E.Full -> "full")
+      );
+      ( "experiments",
+        Json.Assoc (List.map (fun (n, ms) -> (n, metric_obj ms)) experiments)
+      );
+      ("microbench_ns", metric_obj micro);
+    ]
 
 let () =
   Printf.printf
     "GECKO benchmark harness — %s fidelity (set GECKO_BENCH=full for the \
      grids recorded in EXPERIMENTS.md)\n"
     (match fidelity with E.Quick -> "quick" | E.Full -> "full");
-  regenerate ();
-  micro_benchmarks ();
-  print_newline ()
+  let experiments = regenerate () in
+  let micro = micro_benchmarks () in
+  print_newline ();
+  let out =
+    match Sys.getenv_opt "GECKO_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_results.json"
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string (results_json ~experiments ~micro));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results -> %s\n" out

@@ -56,6 +56,40 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads and devices")
     Term.(const run $ const ())
 
+(* --- shared observability helpers ------------------------------------- *)
+
+let write_file path contents =
+  match open_out path with
+  | oc ->
+      output_string oc contents;
+      close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "gecko: cannot write %s: %s\n" path msg;
+      exit 1
+
+(* File extension picks the trace flavour: .jsonl streams line-delimited
+   records, anything else gets the Chrome trace-event array (Perfetto /
+   chrome://tracing). *)
+let write_trace path tracer =
+  let contents =
+    if Filename.check_suffix path ".jsonl" then Gecko.Obs.Trace.to_jsonl tracer
+    else Gecko.Obs.Trace.to_chrome_string tracer
+  in
+  write_file path contents;
+  Printf.printf "trace: %d events -> %s%s\n"
+    (Gecko.Obs.Trace.length tracer)
+    path
+    (let d = Gecko.Obs.Trace.dropped tracer in
+     if d > 0 then Printf.sprintf " (%d oldest dropped)" d else "")
+
+let write_metrics path registry =
+  let contents =
+    if Filename.check_suffix path ".csv" then Gecko.Obs.Metrics.to_csv registry
+    else Gecko.Obs.Json.to_string (Gecko.Obs.Metrics.to_json registry)
+  in
+  write_file path contents;
+  Printf.printf "metrics -> %s\n" path
+
 (* --- compile ---------------------------------------------------------- *)
 
 let compile_cmd =
@@ -70,18 +104,59 @@ let compile_cmd =
             "Print the compiled program as .gasm (shows the inserted \
              checkpoint stores and region boundaries).")
   in
-  let run name scheme disasm asm =
-    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print per-pass compiler wall time and IR growth.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the compiler profile as a Chrome trace-event JSON file \
+             (.jsonl for line-delimited records).")
+  in
+  let run name scheme disasm asm profile trace_out =
+    let registry =
+      if profile then Some (Gecko.Obs.Metrics.create ()) else None
+    in
+    let tracer =
+      if trace_out <> None then Some (Gecko.Obs.Trace.create ()) else None
+    in
+    let p, meta =
+      Compiler.Pipeline.compile ?obs:tracer ?metrics:registry scheme
+        (find_workload name)
+    in
     Format.printf "%s as %s:@.  %a@.  static checkpoint stores: %d@."
       name
       (Compiler.Scheme.to_string scheme)
       Compiler.Meta.pp_stats meta.Compiler.Meta.stats
       (Compiler.Pipeline.checkpoint_store_count p);
+    (match registry with
+    | Some reg ->
+        let module Mx = Gecko.Obs.Metrics in
+        print_endline "  pass                    wall time     IR instrs";
+        List.iter
+          (fun pass ->
+            let h = Mx.histogram reg ("pipeline." ^ pass ^ ".seconds") in
+            let g = Mx.gauge reg ("pipeline." ^ pass ^ ".ir_instrs") in
+            if Mx.hist_count h > 0 then
+              Printf.printf "  %-20s %8.3f ms  %10.0f\n" pass
+                (1e3 *. Mx.hist_sum h) (Mx.gauge_value g))
+          [ "copy"; "regions"; "split"; "regions2"; "coloring"; "emit"; "verify" ]
+    | None -> ());
+    (match (tracer, trace_out) with
+    | Some tr, Some path -> write_trace path tr
+    | _ -> ());
     if asm then print_string (Gecko.Isa.Asm.to_string p);
     if disasm then print_string (Gecko.Isa.Link.disasm (Gecko.Isa.Link.link p))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a workload and show pipeline statistics")
-    Term.(const run $ workload_arg $ scheme_arg $ disasm $ asm)
+    Term.(const run $ workload_arg $ scheme_arg $ disasm $ asm $ profile
+          $ trace_out)
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -100,14 +175,53 @@ let run_cmd =
       value & flag
       & info [ "outages" ] ~doc:"Power through a 1 Hz outage generator instead of a bench supply.")
   in
-  let trace =
+  let attack_at =
+    Arg.(
+      value & opt float 0.
+      & info [ "attack-at" ] ~docv:"T"
+          ~doc:
+            "Delay the attack onset to T simulated seconds (with --attack): \
+             the run shows normal JIT checkpointing before the attack and \
+             detection/recovery after.")
+  in
+  let events =
     Arg.(
       value
       & opt (some int) None
-      & info [ "trace" ] ~docv:"N"
+      & info [ "events" ] ~docv:"N"
           ~doc:"Print the first N power/runtime events of the run.")
   in
-  let run name scheme seconds attack_mhz outages trace =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a full execution trace (checkpoints, rollbacks, \
+             detections, power spans, capacitor voltage) and write it as \
+             Chrome trace-event JSON — load the file in Perfetto or \
+             chrome://tracing.  A .jsonl extension selects line-delimited \
+             records instead.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Dump run metrics (counters, gauges, latency histograms) as \
+             JSON (.csv for CSV).")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Render an ASCII timeline of the run: capacitor voltage and \
+             application throughput over simulated time.")
+  in
+  let run name scheme seconds attack_mhz attack_at outages events trace_out
+      metrics_out timeline =
     let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
     let image = Gecko.Isa.Link.link p in
     let board =
@@ -123,10 +237,25 @@ let run_cmd =
     let schedule =
       match attack_mhz with
       | Some f ->
-          Gecko.Emi.Schedule.always
-            (Gecko.Emi.Attack.remote ~distance_m:0.1
-               (Gecko.Emi.Signal.make ~freq_mhz:f ~power_dbm:20.))
+          let attack =
+            Gecko.Emi.Attack.remote ~distance_m:0.1
+              (Gecko.Emi.Signal.make ~freq_mhz:f ~power_dbm:20.)
+          in
+          if attack_at <= 0. then Gecko.Emi.Schedule.always attack
+          else
+            Gecko.Emi.Schedule.make
+              [
+                Gecko.Emi.Schedule.window ~t_start:attack_at
+                  ~t_end:(seconds +. 1.) attack;
+              ]
       | None -> Gecko.Emi.Schedule.empty
+    in
+    let tracer =
+      if trace_out <> None || timeline then Some (Gecko.Obs.Trace.create ())
+      else None
+    in
+    let registry =
+      if metrics_out <> None then Some (Gecko.Obs.Metrics.create ()) else None
     in
     let o =
       M.run ~board ~image ~meta
@@ -135,16 +264,81 @@ let run_cmd =
           schedule;
           limit = M.Sim_time seconds;
           restart_on_halt = true;
-          record_events = trace <> None;
+          record_events = events <> None;
           max_sim_time = seconds +. 1.;
+          trace = tracer;
+          metrics = registry;
+          timeline_bucket =
+            (if timeline then Some (seconds /. 60.) else None);
         }
     in
-    (match trace with
+    (match events with
     | Some n ->
         List.iteri
           (fun i e -> if i < n then Format.printf "%a@." M.pp_event e)
           o.M.events
     | None -> ());
+    (match (tracer, trace_out) with
+    | Some tr, Some path -> write_trace path tr
+    | _ -> ());
+    (match (registry, metrics_out) with
+    | Some reg, Some path -> write_metrics path reg
+    | _ -> ());
+    (if timeline then
+       match tracer with
+       | None -> ()
+       | Some tr ->
+           let volts =
+             List.filter_map
+               (fun (e : Gecko.Obs.Trace.entry) ->
+                 match e.Gecko.Obs.Trace.ph with
+                 | Gecko.Obs.Trace.Counter v
+                   when e.Gecko.Obs.Trace.name = "cap_voltage" ->
+                     Some (e.Gecko.Obs.Trace.ts, v)
+                 | _ -> None)
+               (Gecko.Obs.Trace.entries tr)
+           in
+           if volts <> [] then
+             print_string
+               (Gecko.Util.Chart.line_plot ~height:10 ~y_min:0.
+                  ~title:"capacitor voltage" ~x_label:"time (s)" ~y_label:"V"
+                  [ { Gecko.Util.Chart.label = "V(cap)"; points = volts } ]);
+           (match o.M.timeline with
+           | Some tl ->
+               let pts =
+                 Array.to_list
+                   (Array.mapi
+                      (fun i v ->
+                        (float_of_int i *. tl.M.bucket, v /. tl.M.bucket))
+                      tl.M.app_seconds_per_bucket)
+                 |> List.filter (fun (t, _) -> t <= seconds)
+               in
+               print_string
+                 (Gecko.Util.Chart.line_plot ~height:8 ~y_min:0. ~y_max:1.
+                    ~title:"application forward progress" ~x_label:"time (s)"
+                    ~y_label:"R"
+                    [ { Gecko.Util.Chart.label = "app"; points = pts } ])
+           | None -> ());
+           let tally = Hashtbl.create 16 in
+           List.iter
+             (fun (e : Gecko.Obs.Trace.entry) ->
+               match e.Gecko.Obs.Trace.ph with
+               | Gecko.Obs.Trace.Instant ->
+                   let n = e.Gecko.Obs.Trace.name in
+                   Hashtbl.replace tally n
+                     (1 + Option.value ~default:0 (Hashtbl.find_opt tally n))
+               | _ -> ())
+             (Gecko.Obs.Trace.entries tr);
+           let rows =
+             Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+             |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+           in
+           if rows <> [] then begin
+             print_endline "events:";
+             List.iter
+               (fun (k, v) -> Printf.printf "  %-22s %6d\n" k v)
+               rows
+           end);
     Printf.printf
       "%s as %s for %.2fs:\n  completions %d | reboots %d | JIT checkpoints %d \
        (%d failed) | rollbacks %d\n  recovery blocks run %d | detections %d | \
@@ -162,8 +356,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a workload on the simulated intermittent system")
     Term.(
-      const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ outages
-      $ trace)
+      const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ attack_at
+      $ outages $ events $ trace_out $ metrics_out $ timeline)
 
 (* --- experiment ------------------------------------------------------- *)
 

@@ -20,20 +20,52 @@ let fail_on_errors what = function
         (Printf.sprintf "Pipeline: %s verification failed:\n%s" what
            (String.concat "\n" errs))
 
+(* Compiler profiler: each pass runs under a host-clock span, and the IR
+   instruction count is sampled after every pass so pass-by-pass code
+   growth shows up on the same Perfetto track. *)
+let pass ?obs ?metrics p name f =
+  let run () =
+    match obs with
+    | None -> f ()
+    | Some tr -> Gecko_obs.Trace.span tr ~cat:"compiler" name f
+  in
+  let t0 = Sys.time () in
+  let r = run () in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Gecko_obs.Metrics.observe
+        (Gecko_obs.Metrics.histogram reg ("pipeline." ^ name ^ ".seconds"))
+        (Sys.time () -. t0);
+      Gecko_obs.Metrics.set_gauge
+        (Gecko_obs.Metrics.gauge reg ("pipeline." ^ name ^ ".ir_instrs"))
+        (float_of_int (Cfg.instr_count p)));
+  (match obs with
+  | None -> ()
+  | Some tr ->
+      Gecko_obs.Trace.counter tr ~cat:"compiler"
+        ~ts:(Gecko_obs.Trace.elapsed tr) "ir_instrs"
+        (float_of_int (Cfg.instr_count p)));
+  r
+
 let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
-    ?(prune_reuse = true) scheme prog =
-  let p = Copy.program prog in
+    ?(prune_reuse = true) ?obs ?metrics scheme prog =
+  let p = pass ?obs ?metrics prog "copy" (fun () -> Copy.program prog) in
+  let pass name f = pass ?obs ?metrics p name f in
   match scheme with
   | Scheme.Nvp -> (p, Meta.empty Scheme.Nvp)
   | Scheme.Ratchet | Scheme.Gecko_noprune | Scheme.Gecko ->
       let next_id = ref 0 in
-      ignore (Regions.form ~next_id p);
+      pass "regions" (fun () -> ignore (Regions.form ~next_id p));
       let overhead = ckpt_overhead_estimate scheme in
-      ignore (Split.by_wcet ~next_id ~budget:budget_cycles ~ckpt_overhead:overhead p);
-      ignore (Regions.form ~next_id p);
+      pass "split" (fun () ->
+          ignore
+            (Split.by_wcet ~next_id ~budget:budget_cycles
+               ~ckpt_overhead:overhead p));
+      pass "regions2" (fun () -> ignore (Regions.form ~next_id p));
       let meta =
         match scheme with
-        | Scheme.Ratchet -> Emit.ratchet p
+        | Scheme.Ratchet -> pass "emit" (fun () -> Emit.ratchet p)
         | Scheme.Gecko | Scheme.Gecko_noprune ->
             let analyze =
               match scheme with
@@ -43,17 +75,18 @@ let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
                   fun _p cands -> Prune.keep_all cands
             in
             let cands, decisions, colors =
-              Coloring.assign ~next_id ~analyze p
+              pass "coloring" (fun () -> Coloring.assign ~next_id ~analyze p)
             in
-            Emit.gecko scheme p cands decisions colors
+            pass "emit" (fun () -> Emit.gecko scheme p cands decisions colors)
         | Scheme.Nvp -> assert false
       in
-      fail_on_errors "idempotence" (Verify.idempotence p);
-      (match scheme with
-      | Scheme.Gecko | Scheme.Gecko_noprune ->
-          fail_on_errors "coloring" (Verify.coloring p meta)
-      | Scheme.Ratchet | Scheme.Nvp -> ());
-      fail_on_errors "wcet" (Verify.wcet ~budget:budget_cycles p);
+      pass "verify" (fun () ->
+          fail_on_errors "idempotence" (Verify.idempotence p);
+          (match scheme with
+          | Scheme.Gecko | Scheme.Gecko_noprune ->
+              fail_on_errors "coloring" (Verify.coloring p meta)
+          | Scheme.Ratchet | Scheme.Nvp -> ());
+          fail_on_errors "wcet" (Verify.wcet ~budget:budget_cycles p));
       (p, meta)
 
 let checkpoint_store_count p =

@@ -25,13 +25,21 @@ val compile :
   ?budget_cycles:int ->
   ?prune_slices:bool ->
   ?prune_reuse:bool ->
+  ?obs:Gecko_obs.Trace.t ->
+  ?metrics:Gecko_obs.Metrics.registry ->
   Scheme.t ->
   Cfg.program ->
   Cfg.program * Meta.t
 (** [prune_slices]/[prune_reuse] (both default [true]) independently
     disable the two checkpoint-pruning mechanisms of the [Gecko] scheme —
     the ablation study.  Raises [Failure] if a verification pass fails —
-    a compiler bug, not a user error. *)
+    a compiler bug, not a user error.
+
+    [obs] turns on the compiler profiler: every pass is recorded as a
+    host-clock span (category ["compiler"]) with an [ir_instrs] counter
+    sample after it.  [metrics] additionally collects per-pass wall-time
+    histograms ([pipeline.<pass>.seconds]) and IR-size gauges
+    ([pipeline.<pass>.ir_instrs]). *)
 
 val checkpoint_store_count : Cfg.program -> int
 (** Static count of checkpoint stores ([Ckpt] / [CkptDyn]) — Table III. *)

@@ -1,10 +1,16 @@
-type t = { capacitance : float; v_max : float; mutable voltage : float }
+type t = {
+  capacitance : float;
+  v_max : float;
+  mutable voltage : float;
+  mutable drained_total : float;
+  mutable sourced_total : float;
+}
 
 let create ~capacitance ~v_max ~v_init =
   if capacitance <= 0. then invalid_arg "Capacitor.create: capacitance <= 0";
   if v_init < 0. || v_init > v_max then
     invalid_arg "Capacitor.create: v_init out of range";
-  { capacitance; v_max; voltage = v_init }
+  { capacitance; v_max; voltage = v_init; drained_total = 0.; sourced_total = 0. }
 
 let capacitance t = t.capacitance
 let voltage t = t.voltage
@@ -25,13 +31,19 @@ let drain t joules =
     let removed = min joules e in
     let e' = e -. removed in
     t.voltage <- sqrt (2. *. e' /. t.capacitance);
+    t.drained_total <- t.drained_total +. removed;
     removed
 
 let source_current t ~amps ~dt =
   if amps > 0. && dt > 0. then begin
+    let e0 = energy t in
     let dv = amps *. dt /. t.capacitance in
-    t.voltage <- min t.v_max (t.voltage +. dv)
+    t.voltage <- min t.v_max (t.voltage +. dv);
+    t.sourced_total <- t.sourced_total +. (energy t -. e0)
   end
+
+let energy_drained_total t = t.drained_total
+let energy_sourced_total t = t.sourced_total
 
 let charge_time_rc ~capacitance ~v_source ~r_source ~v_from ~v_to =
   if v_to >= v_source then infinity

@@ -30,6 +30,14 @@ val drain : t -> float -> float
 val source_current : t -> amps:float -> dt:float -> unit
 (** Integrate a charging current over [dt] seconds. *)
 
+val energy_drained_total : t -> float
+(** Cumulative joules removed by {!drain} over the capacitor's lifetime
+    (observability: the simulator exports this as a metric). *)
+
+val energy_sourced_total : t -> float
+(** Cumulative joules actually banked by {!source_current} (net of the
+    [v_max] clamp). *)
+
 val charge_time_rc :
   capacitance:float -> v_source:float -> r_source:float -> v_from:float -> v_to:float -> float
 (** Analytic RC charge time from [v_from] to [v_to] through [r_source] from

@@ -10,6 +10,8 @@
       pruning, slot colouring, recovery metadata — and the detection
       policy;
     - {!Machine}/{!Board}: the intermittent-system simulator;
+    - {!Obs}: observability — trace recorder (Perfetto/Chrome trace
+      export), metrics registry, compiler/runtime profiling;
     - {!Energy}, {!Emi}, {!Monitor}, {!Devices}: the physical substrates;
     - {!Workloads}: the benchmark suite;
     - {!Experiments}: every table/figure of the paper's evaluation.
@@ -31,6 +33,7 @@
     ]} *)
 
 module Util = Gecko_util
+module Obs = Gecko_obs
 module Isa = Gecko_isa
 module Mem = Gecko_mem
 module Energy = Gecko_energy

@@ -8,6 +8,17 @@ module Core = Gecko_core
 module W = Gecko_workloads.Workload
 
 type fidelity = Quick | Full
+type artifact = { text : string; metrics : (string * float) list }
+
+(* Metric keys are dotted paths of [a-z0-9_] segments. *)
+let slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | 'a' .. 'z' | '0' .. '9' | '.' -> c
+      | _ -> '_')
+    s
 
 (* ------------------------------------------------------------------ *)
 (* Shared knobs                                                        *)
@@ -100,13 +111,14 @@ let fig4_dpi_sweep fidelity =
            ~x_label:"MHz" ~y_label:"R" series);
       Buffer.add_char buf '\n')
     devices;
-  Buffer.contents buf
+  { text = Buffer.contents buf; metrics = [] }
 
 let remote_signal ?(power_dbm = 20.) ?(distance_m = 0.1) f =
   Attack.remote ~distance_m (Signal.make ~freq_mhz:f ~power_dbm)
 
 let fig5_remote_adc_sweep fidelity =
   let buf = Buffer.create 4096 in
+  let ms = ref [] in
   Buffer.add_string buf
     "Fig. 5 — Remote attack on ADC-based voltage monitors (all nine \
      devices, 20 dBm at the reference distance)\n\n";
@@ -115,6 +127,8 @@ let fig5_remote_adc_sweep fidelity =
       let board = attack_board d Device.Use_adc in
       let points = sweep ~board ~fidelity ~make_attack:remote_signal in
       let fmin, rmin = min_point ~profile:d.Device.adc_profile points in
+      let key = slug d.Device.model in
+      ms := (key ^ ".fmin_mhz", fmin) :: (key ^ ".rmin", rmin) :: !ms;
       Buffer.add_string buf
         (U.Chart.line_plot ~height:8 ~y_min:0. ~y_max:1.
            ~title:
@@ -124,10 +138,11 @@ let fig5_remote_adc_sweep fidelity =
            [ { U.Chart.label = "remote"; points } ]);
       Buffer.add_char buf '\n')
     Catalog.all;
-  Buffer.contents buf
+  { text = Buffer.contents buf; metrics = List.rev !ms }
 
 let fig7_remote_comparator_sweep fidelity =
   let buf = Buffer.create 4096 in
+  let ms = ref [] in
   Buffer.add_string buf
     "Fig. 7 — Remote attack on comparator-based voltage monitors\n\n";
   List.iter
@@ -140,6 +155,9 @@ let fig7_remote_comparator_sweep fidelity =
           | Some p -> min_point ~profile:p points
           | None -> min_point points
         in
+        let key = slug d.Device.model in
+        ms :=
+          (key ^ ".comp_fmin_mhz", fmin) :: (key ^ ".comp_rmin", rmin) :: !ms;
         Buffer.add_string buf
           (U.Chart.line_plot ~height:8 ~y_min:0. ~y_max:1.
              ~title:
@@ -150,7 +168,7 @@ let fig7_remote_comparator_sweep fidelity =
         Buffer.add_char buf '\n'
       end)
     Catalog.all;
-  Buffer.contents buf
+  { text = Buffer.contents buf; metrics = List.rev !ms }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: power vs distance                                         *)
@@ -173,6 +191,7 @@ let fig8_distance fidelity =
         :: List.map (fun d -> Printf.sprintf "%.1f m" d) distances)
       ()
   in
+  let dos_cells = ref 0 in
   List.iter
     (fun p ->
       let row =
@@ -183,12 +202,20 @@ let fig8_distance fidelity =
                 (Signal.make ~freq_mhz:27. ~power_dbm:p)
             in
             let r = rate_with ~board ~baseline (Schedule.always attack) duration in
+            if r < 0.5 then incr dos_cells;
             Printf.sprintf "%.0f%%%s" (100. *. r) (if r < 0.5 then " DoS" else ""))
           distances
       in
       U.Table.add_row t (Printf.sprintf "%.0f dBm" p :: row))
     powers;
-  U.Table.render t
+  {
+    text = U.Table.render t;
+    metrics =
+      [
+        ("dos_cells", float_of_int !dos_cells);
+        ("cells", float_of_int (List.length distances * List.length powers));
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: real-time staged attack                                   *)
@@ -259,7 +286,7 @@ let fig9_realtime fidelity =
       | None -> ());
       Buffer.add_char buf '\n')
     [ ("ADC", Device.Use_adc); ("comparator", Device.Use_comparator) ];
-  Buffer.contents buf
+  { text = Buffer.contents buf; metrics = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -299,6 +326,7 @@ let table1 fidelity =
           "ADC-Fmax / freq" ]
       ()
   in
+  let ms = ref [] in
   List.iter
     (fun d ->
       let adc_points =
@@ -322,6 +350,12 @@ let table1 fidelity =
         else "N/A"
       in
       let fail = checkpoint_failure_rate_at ~device:d fmin duration in
+      let key = slug d.Device.model in
+      ms :=
+        (key ^ ".fmax", fail)
+        :: (key ^ ".fmin_mhz", fmin)
+        :: (key ^ ".rmin", rmin)
+        :: !ms;
       U.Table.add_row t
         [
           d.Device.model;
@@ -331,7 +365,7 @@ let table1 fidelity =
           Printf.sprintf "%.0f%% / %.0fMHz" (100. *. fail) fmin;
         ])
     Catalog.all;
-  U.Table.render t
+  { text = U.Table.render t; metrics = List.rev !ms }
 
 let table2 () =
   let t =
@@ -353,7 +387,7 @@ let table2 () =
       [ "Detection of Weak EMI"; "IIoT sensors"; "Software"; "Low"; "No"; "N/A" ];
       [ "GECKO"; "Voltage monitor"; "Software"; "High"; "Yes"; "Applicable" ];
     ];
-  U.Table.render t
+  { text = U.Table.render t; metrics = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Figures 11, 12, 14; Table III                                       *)
@@ -395,13 +429,22 @@ let fig11_overhead_no_outage _fidelity =
       ~group_labels:[ "Ratchet"; "GECKO w/o pruning"; "GECKO" ]
       (rows @ [ ("geomean", [ geo 0; geo 1; geo 2 ]) ])
   in
-  chart
-  ^ Printf.sprintf
-      "\nAverage overhead vs NVP: Ratchet %+.0f%%, GECKO w/o pruning %+.0f%%, \
-       GECKO %+.0f%%\n"
-      (100. *. (geo 0 -. 1.))
-      (100. *. (geo 1 -. 1.))
-      (100. *. (geo 2 -. 1.))
+  {
+    text =
+      chart
+      ^ Printf.sprintf
+          "\nAverage overhead vs NVP: Ratchet %+.0f%%, GECKO w/o pruning \
+           %+.0f%%, GECKO %+.0f%%\n"
+          (100. *. (geo 0 -. 1.))
+          (100. *. (geo 1 -. 1.))
+          (100. *. (geo 2 -. 1.));
+    metrics =
+      [
+        ("ratchet.geomean", geo 0);
+        ("gecko_noprune.geomean", geo 1);
+        ("gecko.geomean", geo 2);
+      ];
+  }
 
 let fig12_checkpoint_reduction _fidelity =
   let t =
@@ -441,7 +484,16 @@ let fig12_checkpoint_reduction _fidelity =
       U.Table.cell_pct
         (float_of_int (!tot_c - !tot_k) /. float_of_int (max 1 !tot_c));
     ];
-  U.Table.render t
+  {
+    text = U.Table.render t;
+    metrics =
+      [
+        ("candidates", float_of_int !tot_c);
+        ("emitted", float_of_int !tot_k);
+        ( "reduction",
+          float_of_int (!tot_c - !tot_k) /. float_of_int (max 1 !tot_c) );
+      ];
+  }
 
 let table3_checkpoint_stores _fidelity =
   let t =
@@ -474,7 +526,10 @@ let table3_checkpoint_stores _fidelity =
   U.Table.add_sep t;
   U.Table.add_row t
     [ "avg"; Printf.sprintf "%.0f" (U.Stats.mean !counts); ""; "" ];
-  U.Table.render t
+  {
+    text = U.Table.render t;
+    metrics = [ ("avg_ckpt_stores", U.Stats.mean !counts) ];
+  }
 
 let fig14_harvesting_overhead fidelity =
   let completions = match fidelity with Quick -> 2 | Full -> 5 in
@@ -507,12 +562,16 @@ let fig14_harvesting_overhead fidelity =
       W.names
   in
   let geo i = U.Stats.geomean (List.map (fun (_, vs) -> List.nth vs i) rows) in
-  U.Chart.grouped_bars
-    ~title:
-      "Fig. 14 — Normalized execution time in an RF energy-harvesting \
-       environment (Powercast-style source; baseline = NVP)"
-    ~group_labels:[ "Ratchet"; "GECKO" ]
-    (rows @ [ ("geomean", [ geo 0; geo 1 ]) ])
+  {
+    text =
+      U.Chart.grouped_bars
+        ~title:
+          "Fig. 14 — Normalized execution time in an RF energy-harvesting \
+           environment (Powercast-style source; baseline = NVP)"
+        ~group_labels:[ "Ratchet"; "GECKO" ]
+        (rows @ [ ("geomean", [ geo 0; geo 1 ]) ]);
+    metrics = [ ("ratchet.geomean", geo 0); ("gecko.geomean", geo 1) ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 13: attack scenarios                                         *)
@@ -562,8 +621,10 @@ let fig13_attack_scenarios fidelity =
         paper-minute = %.2f s sim; attack = 27 MHz remote; 0%% = denial of \
         service; baseline = NVP without attack)\n\n"
        minute);
+  let ms = ref [] in
   List.iter
     (fun (name, minutes) ->
+      let scen = String.sub name 1 1 in
       let schedule =
         Schedule.make
           (List.map
@@ -600,18 +661,23 @@ let fig13_attack_scenarios fidelity =
            (List.map (fun (_, _, s) -> s) series));
       List.iter
         (fun (nm, (o : M.outcome), _) ->
+          let throughput =
+            float_of_int o.M.completions
+            /. (base_rate *. float_of_int total_minutes)
+          in
+          let key = Printf.sprintf "%s.%s" scen (slug nm) in
+          ms :=
+            (key ^ ".detections", float_of_int o.M.detections)
+            :: (key ^ ".throughput", throughput)
+            :: !ms;
           Buffer.add_string buf
             (Printf.sprintf
                "  %-18s total throughput %5.1f%%  detections=%d reenables=%d\n"
-               nm
-               (100.
-               *. float_of_int o.M.completions
-               /. (base_rate *. float_of_int total_minutes))
-               o.M.detections o.M.reenables))
+               nm (100. *. throughput) o.M.detections o.M.reenables))
         series;
       Buffer.add_char buf '\n')
     scenarios;
-  Buffer.contents buf
+  { text = Buffer.contents buf; metrics = List.rev !ms }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 15: capacitor sweep                                          *)
@@ -631,6 +697,7 @@ let fig15_capacitor_sweep fidelity =
       ~header:[ "capacitor"; "NVP (s)"; "GECKO (s)"; "GECKO/NVP" ]
       ()
   in
+  let ms = ref [] in
   List.iter
     (fun c ->
       let board =
@@ -651,6 +718,9 @@ let fig15_capacitor_sweep fidelity =
         o.M.sim_time
       in
       let nvp = time Core.Scheme.Nvp and gecko = time Core.Scheme.Gecko in
+      ms :=
+        (Printf.sprintf "cap_%.0fmf.gecko_over_nvp" (c *. 1e3), gecko /. nvp)
+        :: !ms;
       U.Table.add_row t
         [
           Printf.sprintf "%.0f mF" (c *. 1e3);
@@ -659,7 +729,7 @@ let fig15_capacitor_sweep fidelity =
           Printf.sprintf "%.2f" (gecko /. nvp);
         ])
     sizes;
-  U.Table.render t
+  { text = U.Table.render t; metrics = List.rev !ms }
 
 (* Ablation: the two pruning mechanisms contribute independently. *)
 let ablation _fidelity =
@@ -682,6 +752,7 @@ let ablation _fidelity =
         (wname, float_of_int (o.M.app_cycles + o.M.instrumentation_cycles)))
       W.names
   in
+  let ms = ref [] in
   let row name ~slices ~reuse =
     let overheads, stores =
       List.fold_left
@@ -699,18 +770,27 @@ let ablation _fidelity =
           (ov :: ovs, st + Core.Pipeline.checkpoint_store_count p))
         ([], 0) nvp_cycles
     in
+    let ov = U.Stats.geomean overheads -. 1. in
     U.Table.add_row t
       [
         name;
-        Printf.sprintf "%+.1f%%" (100. *. (U.Stats.geomean overheads -. 1.));
+        Printf.sprintf "%+.1f%%" (100. *. ov);
         string_of_int stores;
-      ]
+      ];
+    ov
   in
-  row "full GECKO (slices + reuse)" ~slices:true ~reuse:true;
-  row "slices only" ~slices:true ~reuse:false;
-  row "reuse only" ~slices:false ~reuse:true;
-  row "no pruning" ~slices:false ~reuse:false;
-  U.Table.render t
+  let full = row "full GECKO (slices + reuse)" ~slices:true ~reuse:true in
+  let slices = row "slices only" ~slices:true ~reuse:false in
+  let reuse = row "reuse only" ~slices:false ~reuse:true in
+  let none = row "no pruning" ~slices:false ~reuse:false in
+  ms :=
+    [
+      ("full.overhead", full);
+      ("slices_only.overhead", slices);
+      ("reuse_only.overhead", reuse);
+      ("no_pruning.overhead", none);
+    ];
+  { text = U.Table.render t; metrics = !ms }
 
 (* Region-budget sensitivity: the WCET splitter's charge-cycle budget is
    a design knob — smaller budgets mean more regions, more commits, more
@@ -725,6 +805,7 @@ let budget_sweep _fidelity =
       ~header:[ "budget (cycles)"; "overhead vs NVP"; "regions (total)" ]
       ()
   in
+  let ms = ref [] in
   List.iter
     (fun budget ->
       let overheads, regions =
@@ -749,14 +830,16 @@ let budget_sweep _fidelity =
             (ov :: ovs, rg + meta.Core.Meta.stats.Core.Meta.boundaries))
           ([], 0) W.names
       in
+      let ov = U.Stats.geomean overheads -. 1. in
+      ms := (Printf.sprintf "budget_%d.overhead" budget, ov) :: !ms;
       U.Table.add_row t
         [
           string_of_int budget;
-          Printf.sprintf "%+.1f%%" (100. *. (U.Stats.geomean overheads -. 1.));
+          Printf.sprintf "%+.1f%%" (100. *. ov);
           string_of_int regions;
         ])
     [ 80; 120; 250; 500; 2000 ];
-  U.Table.render t
+  { text = U.Table.render t; metrics = List.rev !ms }
 
 (* Detection latency: how quickly GECKO notices an attack that begins
    mid-run. *)
@@ -772,6 +855,7 @@ let detection_latency fidelity =
       ~header:[ "monitor"; "attack"; "latency" ]
       ()
   in
+  let ms = ref [] in
   List.iter
     (fun (label, choice, freq) ->
       let board = attack_board Catalog.msp430fr5994 choice in
@@ -800,6 +884,9 @@ let detection_latency fidelity =
             | _ -> None)
           o.M.events
       in
+      (match latency with
+      | Some l -> ms := (slug label ^ ".latency_s", l) :: !ms
+      | None -> ());
       U.Table.add_row t
         [
           label;
@@ -812,9 +899,9 @@ let detection_latency fidelity =
       ("ADC", Device.Use_adc, 27.);
       ("comparator", Device.Use_comparator, 5.);
     ];
-  U.Table.render t
+  { text = U.Table.render t; metrics = List.rev !ms }
 
-let all fidelity =
+let all_artifacts fidelity =
   [
     ("fig4", fig4_dpi_sweep fidelity);
     ("fig5", fig5_remote_adc_sweep fidelity);
@@ -833,3 +920,6 @@ let all fidelity =
     ("budget-sweep", budget_sweep fidelity);
     ("detection-latency", detection_latency fidelity);
   ]
+
+let all fidelity =
+  List.map (fun (name, a) -> (name, a.text)) (all_artifacts fidelity)

@@ -54,6 +54,8 @@ type options = {
   record_io : bool;
   record_events : bool;
   start_charged : bool;
+  trace : Gecko_obs.Trace.t option;
+  metrics : Gecko_obs.Metrics.registry option;
 }
 
 let default_options =
@@ -67,6 +69,8 @@ let default_options =
     record_io = false;
     record_events = false;
     start_charged = true;
+    trace = None;
+    metrics = None;
   }
 
 type timeline = {
@@ -160,6 +164,13 @@ type state = {
   tl_app : float array;
   tl_comp : int array;
   tl_bucket : float;
+  (* observability; [tracing] caches [trace <> None && enabled] so the
+     per-instruction cost of a disabled recorder is one branch *)
+  tracing : bool;
+  trace : Gecko_obs.Trace.t option;
+  mutable next_vsample : float;
+  hist_ckpt : Gecko_obs.Metrics.histogram option;
+  hist_rollback : Gecko_obs.Metrics.histogram option;
 }
 
 let cycle_time st = Device.cycle_time st.board.Board.device
@@ -233,13 +244,58 @@ let nvm_extra st ~reads ~writes =
   (float_of_int reads *. (core st).Device.nvm_read_energy)
   +. (float_of_int writes *. (core st).Device.nvm_write_energy)
 
+(* --- observability ---------------------------------------------------- *)
+
+let trace_ids = function
+  | Ev_boot _ -> ("boot", "power")
+  | Ev_restore_jit -> ("restore_jit", "checkpoint")
+  | Ev_rollback _ -> ("rollback", "recovery")
+  | Ev_fresh_start -> ("fresh_start", "recovery")
+  | Ev_backup_signal true -> ("backup_signal_early", "monitor")
+  | Ev_backup_signal false -> ("backup_signal", "monitor")
+  | Ev_checkpoint -> ("checkpoint", "checkpoint")
+  | Ev_checkpoint_failed -> ("checkpoint_failed", "checkpoint")
+  | Ev_brownout -> ("brownout", "power")
+  | Ev_detection -> ("detection", "defense")
+  | Ev_reenable -> ("reenable", "defense")
+  | Ev_completion -> ("completion", "app")
+
+let sample_voltage st =
+  match st.trace with
+  | None -> ()
+  | Some tr ->
+      Gecko_obs.Trace.counter tr ~cat:"energy" ~ts:st.time "cap_voltage"
+        (Capacitor.voltage st.cap)
+
+(* Voltage gauge sampling cadence on the trace (simulated time). *)
+let vsample_period = 0.5e-3
+
+let trace_span st ~t0 ~cat name =
+  match st.trace with
+  | None -> ()
+  | Some tr ->
+      Gecko_obs.Trace.complete tr ~cat ~ts:t0 ~dur:(st.time -. t0) name
+
+let hist_observe h v =
+  match h with None -> () | Some h -> Gecko_obs.Metrics.observe h v
+
 let record st kind =
   if st.opts.record_events then
-    st.events <- { ev_time = st.time; ev_kind = kind } :: st.events
+    st.events <- { ev_time = st.time; ev_kind = kind } :: st.events;
+  if st.tracing then begin
+    (match st.trace with
+    | Some tr ->
+        let name, cat = trace_ids kind in
+        Gecko_obs.Trace.instant tr ~cat ~ts:st.time name
+    | None -> ());
+    sample_voltage st
+  end
 
 (* --- power transitions ----------------------------------------------- *)
 
 let shutdown st =
+  if st.tracing && st.powered then
+    trace_span st ~t0:st.boot_time ~cat:"power" "power_on";
   st.powered <- false;
   Monitor.arm_wake st.monitor;
   Monitor.sync st.monitor ~time:st.time
@@ -289,7 +345,7 @@ let reinit_data st =
    time/energy cost. *)
 let ctpl_sram_words = 96
 
-let jit_checkpoint st =
+let jit_checkpoint_work st =
   st.jit_checkpoints <- st.jit_checkpoints + 1;
   spend st Cost.jit_isr_overhead_cycles ~extra:0.;
   let failed_sram = ref false in
@@ -332,6 +388,14 @@ let jit_checkpoint st =
    else record st Ev_checkpoint)
   end
 
+(* The JIT checkpoint ISR latency — from backup signal to the ACK write
+   (or the brownout that killed it) — is the window the attacker races. *)
+let jit_checkpoint st =
+  let t0 = st.time in
+  jit_checkpoint_work st;
+  trace_span st ~t0 ~cat:"checkpoint" "jit_checkpoint_isr";
+  hist_observe st.hist_ckpt (st.time -. t0)
+
 (* --- rollback recovery ----------------------------------------------- *)
 
 let run_recovery_slice st (rec_ : Meta.recovery) =
@@ -367,7 +431,7 @@ let run_recovery_slice st (rec_ : Meta.recovery) =
     rec_.Meta.g_slice;
   st.regs.(Reg.to_int rec_.Meta.g_reg) <- scratch.(Reg.to_int rec_.Meta.g_reg)
 
-let gecko_rollback st =
+let gecko_rollback_work st =
   let bid = Nvm.read st.nvm (sys_cell st Link.Cells.sys_boundary) - 1 in
   if bid < 0 then begin
     record st Ev_fresh_start;
@@ -392,7 +456,13 @@ let gecko_rollback st =
     st.pc <- Hashtbl.find st.image.Link.boundary_index bid + 1
   end
 
-let ratchet_rollback st =
+let gecko_rollback st =
+  let t0 = st.time in
+  gecko_rollback_work st;
+  trace_span st ~t0 ~cat:"recovery" "rollback";
+  hist_observe st.hist_rollback (st.time -. t0)
+
+let ratchet_rollback_work st =
   let bid = Nvm.read st.nvm (sys_cell st Link.Cells.sys_boundary) - 1 in
   if bid < 0 then begin
     record st Ev_fresh_start;
@@ -409,6 +479,12 @@ let ratchet_rollback st =
       Reg.all;
     st.pc <- Hashtbl.find st.image.Link.boundary_index bid + 1
   end
+
+let ratchet_rollback st =
+  let t0 = st.time in
+  ratchet_rollback_work st;
+  trace_span st ~t0 ~cat:"recovery" "rollback";
+  hist_observe st.hist_rollback (st.time -. t0)
 
 let restore_jit st =
   record st Ev_restore_jit;
@@ -478,7 +554,10 @@ let boot_protocol st =
       Nvm.write st.nvm (sys_cell st Link.Cells.sys_progress) 0;
       let mode = Policy.mode_of_int (Nvm.read st.nvm (sys_cell st Link.Cells.sys_mode)) in
       let mode', action, detected = Policy.on_boot mode { Policy.ack_ok; progress } in
-      if detected then st.detections <- st.detections + 1;
+      if detected then begin
+        st.detections <- st.detections + 1;
+        record st Ev_detection
+      end;
       set_mode st mode';
       (match action with
       | Policy.Resume_jit -> if jp >= 0 then restore_jit st else fresh_start st
@@ -654,6 +733,10 @@ let step_instr st =
   | Link.Lhalt ->
       spend st 1 ~extra:0.;
       complete st);
+  if st.tracing && st.time >= st.next_vsample then begin
+    sample_voltage st;
+    st.next_vsample <- st.time +. vsample_period
+  end;
   if st.powered && not st.stop then begin
     if Capacitor.voltage st.cap <= st.board.Board.v_off then brownout st
     else
@@ -682,6 +765,10 @@ let step_sleep st =
   if st.time < st.next_wake_check then ()
   else begin
   st.next_wake_check <- st.time +. wake_poll;
+  if st.tracing && st.time >= st.next_vsample then begin
+    sample_voltage st;
+    st.next_vsample <- st.time +. vsample_period
+  end;
   let monitor_wake =
     match st.meta.Meta.scheme with
     | Scheme.Nvp | Scheme.Ratchet -> true
@@ -778,8 +865,35 @@ let make_state ~board ~image ~meta opts =
       tl_app = Array.make (max n_buckets 1) 0.;
       tl_comp = Array.make (max n_buckets 1) 0;
       tl_bucket;
+      tracing =
+        (match opts.trace with
+        | Some tr -> Gecko_obs.Trace.enabled tr
+        | None -> false);
+      trace =
+        (match opts.trace with
+        | Some tr when Gecko_obs.Trace.enabled tr -> Some tr
+        | Some _ | None -> None);
+      next_vsample = 0.;
+      hist_ckpt =
+        Option.map
+          (fun reg -> Gecko_obs.Metrics.histogram reg "machine.jit_checkpoint_isr_s")
+          opts.metrics;
+      hist_rollback =
+        Option.map
+          (fun reg -> Gecko_obs.Metrics.histogram reg "machine.rollback_s")
+          opts.metrics;
     }
   in
+  (match st.trace with
+  | Some tr ->
+      (* The raw monitor output stream: what the (possibly disturbed)
+         voltage monitor reported, before the runtime acted on it. *)
+      Monitor.set_on_event monitor (fun ~time ev ->
+          Gecko_obs.Trace.instant tr ~cat:"monitor" ~ts:time
+            (match ev with
+            | Monitor.Backup -> "monitor_backup"
+            | Monitor.Wake -> "monitor_wake"))
+  | None -> ());
   (* Initialize runtime cells. *)
   Nvm.write nvm (jit_cell st Link.Cells.jit_pc) (-1);
   Nvm.write nvm (sys_cell st Link.Cells.sys_ack_seen) (-1);
@@ -789,9 +903,43 @@ let make_state ~board ~image ~meta opts =
   if not opts.start_charged then Monitor.arm_wake st.monitor;
   if monitor_is_gecko st then
     Monitor.set_enabled st.monitor (Policy.monitor_enabled st.mode);
+  (* The initial power-up is a boot like any other. *)
+  if st.powered then record st (Ev_boot st.mode);
   st
 
+(* End-of-run scalar dump into the metrics registry.  Counters add, so a
+   registry shared across several runs accumulates suite totals; the
+   gauges keep last-run values. *)
+let export_metrics st =
+  match st.opts.metrics with
+  | None -> ()
+  | Some reg ->
+      let module Mx = Gecko_obs.Metrics in
+      let c name v = Mx.incr ~by:v (Mx.counter reg name) in
+      c "machine.completions" st.completions;
+      c "machine.jit_checkpoints" st.jit_checkpoints;
+      c "machine.jit_checkpoint_failures" st.jit_checkpoint_failures;
+      c "machine.reboots" st.reboots;
+      c "machine.brownouts" st.brownouts;
+      c "machine.detections" st.detections;
+      c "machine.reenables" st.reenables;
+      c "machine.rollbacks" st.rollbacks;
+      c "machine.recovery_block_runs" st.recovery_block_runs;
+      c "machine.corruptions" st.corruptions;
+      c "machine.app_cycles" st.app_cycles;
+      c "machine.instrumentation_cycles" st.instrumentation_cycles;
+      c "monitor.observations" (Monitor.observations st.monitor);
+      c "monitor.fires" (Monitor.fires st.monitor);
+      let g name v = Mx.set_gauge (Mx.gauge reg name) v in
+      g "machine.sim_time_s" st.time;
+      g "machine.app_seconds" (float_of_int st.app_cycles *. cycle_time st);
+      g "machine.cap_voltage_final_v" (Capacitor.voltage st.cap);
+      g "energy.drained_j" (Capacitor.energy_drained_total st.cap);
+      g "energy.sourced_j" (Capacitor.energy_sourced_total st.cap)
+
 let finish st =
+  export_metrics st;
+  if st.tracing then sample_voltage st;
   {
     completions = st.completions;
     completion_times = List.rev st.completion_times;

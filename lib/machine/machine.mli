@@ -53,6 +53,18 @@ type options = {
   record_io : bool;
   record_events : bool;
   start_charged : bool;
+  trace : Gecko_obs.Trace.t option;
+      (** Trace recorder (simulated-time stamps).  Receives instants for
+          every runtime event, complete spans for power-on periods,
+          checkpoint ISRs and rollbacks, the raw monitor event stream
+          (category [monitor]) and a periodic [cap_voltage] counter
+          track.  [None] (the default) or a disabled recorder keeps the
+          simulation loop on its plain path. *)
+  metrics : Gecko_obs.Metrics.registry option;
+      (** Metrics sink: end-of-run counters/gauges ([machine.*],
+          [monitor.*], [energy.*]) and latency histograms
+          ([machine.jit_checkpoint_isr_s], [machine.rollback_s]).
+          Counters accumulate across runs sharing a registry. *)
 }
 
 val default_options : options

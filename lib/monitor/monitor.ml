@@ -15,12 +15,27 @@ type t = {
   mutable arm : arm;
   mutable last_tick : float;  (* last ADC sample time *)
   mutable cond_since : float option;  (* comparator: condition onset time *)
+  mutable observations : int;
+  mutable fires : int;
+  mutable on_event : time:float -> event -> unit;
 }
+
+let no_hook ~time:_ _ = ()
 
 let create kind th =
   if th.v_on <= th.v_backup then
     invalid_arg "Monitor.create: v_on must exceed v_backup";
-  { kind; th; enabled = true; arm = Watch_backup; last_tick = 0.; cond_since = None }
+  {
+    kind;
+    th;
+    enabled = true;
+    arm = Watch_backup;
+    last_tick = 0.;
+    cond_since = None;
+    observations = 0;
+    fires = 0;
+    on_event = no_hook;
+  }
 
 let kind t = t.kind
 let thresholds t = t.th
@@ -53,7 +68,11 @@ let condition_holds t ~v_true ~disturbance =
 
 let event_of_arm = function Watch_backup -> Backup | Watch_wake -> Wake
 
-let observe t ~time ~v_true ~disturbance =
+let set_on_event t f = t.on_event <- f
+let observations t = t.observations
+let fires t = t.fires
+
+let observe_armed t ~time ~v_true ~disturbance =
   if not t.enabled then None
   else
     match t.kind with
@@ -82,3 +101,12 @@ let observe t ~time ~v_true ~disturbance =
           t.cond_since <- None;
           None
         end
+
+let observe t ~time ~v_true ~disturbance =
+  t.observations <- t.observations + 1;
+  match observe_armed t ~time ~v_true ~disturbance with
+  | Some ev as r ->
+      t.fires <- t.fires + 1;
+      t.on_event ~time ev;
+      r
+  | None -> None

@@ -56,3 +56,19 @@ val reset : t -> unit
 val sync : t -> time:float -> unit
 (** Restart the sampling clock at [time] (ADC kind): the first sample
     after a (re)boot happens one full sampling period later. *)
+
+(** {2 Observability}
+
+    The monitor is the component under attack, so the trace layer wants
+    to see its raw output stream, not just what the runtime did with
+    it. *)
+
+val set_on_event : t -> (time:float -> event -> unit) -> unit
+(** Hook invoked on every event {!observe} reports (before the caller
+    sees it).  One hook at a time; the default is a no-op. *)
+
+val observations : t -> int
+(** Total {!observe} calls over the monitor's lifetime. *)
+
+val fires : t -> int
+(** Total events reported. *)

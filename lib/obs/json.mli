@@ -1,0 +1,41 @@
+(** Minimal JSON document model, printer and parser.
+
+    Self-contained so the observability layer carries no external
+    dependency.  The printer emits compact RFC 8259 JSON; non-finite
+    floats (nan/inf), which JSON cannot represent, are emitted as
+    [null].  The parser accepts any document the printer emits (plus
+    standard whitespace and [\uXXXX] escapes) — enough for exporter
+    round-trip tests and for external tools to be fed valid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse a complete document; trailing non-whitespace is an error. *)
+
+val to_channel : out_channel -> t -> unit
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Assoc _)] looks up key [k]; [None] on other variants. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; everything else is [None]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+
+val equal : t -> t -> bool
+(** Structural equality; [Assoc] fields are order-sensitive. *)

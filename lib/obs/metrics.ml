@@ -1,0 +1,224 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  base : float;
+  lowest : float;
+  log_base : float;
+  mutable counts : int array;
+  mutable underflow : int;
+  mutable n : int;
+  mutable sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type registry = (string, instrument) Hashtbl.t
+
+let create () : registry = Hashtbl.create 32
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let intern reg name make match_kind =
+  match Hashtbl.find_opt reg name with
+  | Some i -> (
+      match match_kind i with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name i)))
+  | None ->
+      let i = make () in
+      Hashtbl.replace reg name i;
+      (match match_kind i with Some v -> v | None -> assert false)
+
+let counter reg name =
+  intern reg name
+    (fun () -> C { c_name = name; count = 0 })
+    (function C c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let gauge reg name =
+  intern reg name
+    (fun () -> G { g_name = name; value = Float.nan })
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = g.value <- v
+let gauge_value g = g.value
+
+let max_buckets = 512
+
+let histogram ?(base = 2.) ?(lowest = 1e-9) reg name =
+  if base <= 1. then invalid_arg "Metrics.histogram: base must exceed 1";
+  if lowest <= 0. then invalid_arg "Metrics.histogram: lowest must be positive";
+  intern reg name
+    (fun () ->
+      H
+        {
+          h_name = name;
+          base;
+          lowest;
+          log_base = log base;
+          counts = Array.make 8 0;
+          underflow = 0;
+          n = 0;
+          sum = 0.;
+          h_min = Float.nan;
+          h_max = Float.nan;
+        })
+    (function H h -> Some h | _ -> None)
+
+let bucket_index h v =
+  if v < h.lowest then -1
+  else
+    let i = int_of_float (floor (log (v /. h.lowest) /. h.log_base)) in
+    min (max i 0) (max_buckets - 1)
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if Float.is_nan h.h_min || v < h.h_min then h.h_min <- v;
+  if Float.is_nan h.h_max || v > h.h_max then h.h_max <- v;
+  let i = bucket_index h v in
+  if i < 0 then h.underflow <- h.underflow + 1
+  else begin
+    if i >= Array.length h.counts then begin
+      let counts' = Array.make (min max_buckets (max (i + 1) (2 * Array.length h.counts))) 0 in
+      Array.blit h.counts 0 counts' 0 (Array.length h.counts);
+      h.counts <- counts'
+    end;
+    h.counts.(i) <- h.counts.(i) + 1
+  end
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_min h = h.h_min
+let hist_max h = h.h_max
+let hist_mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
+
+let bucket_bounds h i =
+  (h.lowest *. (h.base ** float_of_int i), h.lowest *. (h.base ** float_of_int (i + 1)))
+
+let quantile h q =
+  if h.n = 0 then 0.
+  else begin
+    let target =
+      let r = int_of_float (ceil (q *. float_of_int h.n)) in
+      min (max r 1) h.n
+    in
+    let seen = ref h.underflow in
+    if !seen >= target then h.lowest /. 2.
+    else begin
+      let result = ref Float.nan in
+      (try
+         Array.iteri
+           (fun i c ->
+             seen := !seen + c;
+             if c > 0 && !seen >= target then begin
+               let lo, hi = bucket_bounds h i in
+               result := sqrt (lo *. hi);
+               raise Exit
+             end)
+           h.counts
+       with Exit -> ());
+      if Float.is_nan !result then h.h_max else !result
+    end
+  end
+
+let buckets h =
+  let under = if h.underflow > 0 then [ (0., h.lowest, h.underflow) ] else [] in
+  let rest = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let lo, hi = bucket_bounds h i in
+        rest := (lo, hi, c) :: !rest)
+    h.counts;
+  under @ List.rev !rest
+
+(* --- exporters -------------------------------------------------------- *)
+
+let sorted_instruments (reg : registry) =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hist_json h =
+  Json.Assoc
+    [
+      ("count", Json.Int h.n);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float h.h_min);
+      ("max", Json.Float h.h_max);
+      ("mean", Json.Float (hist_mean h));
+      ("p50", Json.Float (quantile h 0.5));
+      ("p90", Json.Float (quantile h 0.9));
+      ("p99", Json.Float (quantile h 0.99));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.Assoc
+                 [
+                   ("lo", Json.Float lo); ("hi", Json.Float hi); ("count", Json.Int c);
+                 ])
+             (buckets h)) );
+    ]
+
+let to_json reg =
+  let items = sorted_instruments reg in
+  let pick f = List.filter_map f items in
+  Json.Assoc
+    [
+      ( "counters",
+        Json.Assoc
+          (pick (function n, C c -> Some (n, Json.Int c.count) | _ -> None)) );
+      ( "gauges",
+        Json.Assoc
+          (pick (function n, G g -> Some (n, Json.Float g.value) | _ -> None))
+      );
+      ( "histograms",
+        Json.Assoc
+          (pick (function n, H h -> Some (n, hist_json h) | _ -> None)) );
+    ]
+
+let csv_float f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f else "nan"
+
+let to_csv reg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,field,value\n";
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | C c -> Buffer.add_string buf (Printf.sprintf "counter,%s,value,%d\n" name c.count)
+      | G g ->
+          Buffer.add_string buf
+            (Printf.sprintf "gauge,%s,value,%s\n" name (csv_float g.value))
+      | H h ->
+          List.iter
+            (fun (field, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "histogram,%s,%s,%s\n" name field (csv_float v)))
+            [
+              ("count", float_of_int h.n);
+              ("sum", h.sum);
+              ("min", h.h_min);
+              ("max", h.h_max);
+              ("mean", hist_mean h);
+              ("p50", quantile h 0.5);
+              ("p90", quantile h 0.9);
+              ("p99", quantile h 0.99);
+            ];
+          List.iter
+            (fun (lo, hi, c) ->
+              Buffer.add_string buf
+                (Printf.sprintf "histogram,%s,bucket<%.3g:%.3g>,%d\n" name lo hi c))
+            (buckets h))
+    (sorted_instruments reg);
+  Buffer.contents buf

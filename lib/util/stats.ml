@@ -26,7 +26,7 @@ let maximum = function
 
 let percentile p xs =
   match xs with
-  | [] -> invalid_arg "Stats.percentile: empty list"
+  | [] -> 0.
   | _ ->
       let a = Array.of_list xs in
       Array.sort compare a;
@@ -61,7 +61,7 @@ let summarize xs =
     stddev = stddev xs;
     min = minimum xs;
     max = maximum xs;
-    median = (match xs with [] -> 0. | _ -> median xs);
+    median = median xs;
   }
 
 let pp_summary ppf s =

@@ -1,4 +1,10 @@
-(** Small statistics toolkit for experiment post-processing. *)
+(** Small statistics toolkit for experiment post-processing.
+
+    Empty-input policy: every aggregate in this module is total and
+    returns [0.] on the empty list — including {!percentile} and
+    {!median}.  Experiment code folds over runs whose event lists may
+    legitimately be empty (e.g. no rollbacks under no attack), and a
+    uniform zero beats a raise deep inside a sweep. *)
 
 val mean : float list -> float
 (** Arithmetic mean; 0. on the empty list. *)
@@ -10,13 +16,18 @@ val stddev : float list -> float
 (** Population standard deviation; 0. on lists shorter than 2. *)
 
 val minimum : float list -> float
+(** Smallest element; 0. on the empty list. *)
+
 val maximum : float list -> float
+(** Largest element; 0. on the empty list. *)
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0,100], linear interpolation between
-    order statistics.  Raises [Invalid_argument] on the empty list. *)
+    order statistics.  0. on the empty list; the sole element on a
+    singleton (for any [p]). *)
 
 val median : float list -> float
+(** [percentile 50.]; 0. on the empty list. *)
 
 val normalize_to : float -> float list -> float list
 (** [normalize_to base xs] divides every element by [base]. *)

@@ -162,6 +162,94 @@ let test_timeline_buckets () =
       let total = Array.fold_left ( + ) 0 tl.M.Machine.completions_per_bucket in
       Alcotest.(check int) "buckets sum to completions" o.M.Machine.completions total
 
+(* Property: the recorded event stream is time-ordered and its per-kind
+   counts agree with the outcome counters, for every scheme, with and
+   without an attack.  This pins the contract the observability layer
+   (and the CLI trace export) builds on: every counter bump has exactly
+   one recorded event. *)
+
+let check_events_agree name (o : M.Machine.outcome) =
+  let rec ordered = function
+    | (a : M.Machine.event) :: (b :: _ as rest) ->
+        a.M.Machine.ev_time <= b.M.Machine.ev_time && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (name ^ ": timestamps ordered") true
+    (ordered o.M.Machine.events);
+  let kinds =
+    List.map (fun (e : M.Machine.event) -> e.M.Machine.ev_kind)
+      o.M.Machine.events
+  in
+  let n p = List.length (List.filter p kinds) in
+  let check what expected p =
+    Alcotest.(check int) (Printf.sprintf "%s: %s" name what) expected (n p)
+  in
+  check "checkpoints" o.M.Machine.jit_checkpoints (function
+    | M.Machine.Ev_checkpoint -> true
+    | _ -> false);
+  check "checkpoint failures" o.M.Machine.jit_checkpoint_failures (function
+    | M.Machine.Ev_checkpoint_failed -> true
+    | _ -> false);
+  check "rollbacks" o.M.Machine.rollbacks (function
+    | M.Machine.Ev_rollback _ -> true
+    | _ -> false);
+  check "brownouts" o.M.Machine.brownouts (function
+    | M.Machine.Ev_brownout -> true
+    | _ -> false);
+  check "detections" o.M.Machine.detections (function
+    | M.Machine.Ev_detection -> true
+    | _ -> false);
+  check "reenables" o.M.Machine.reenables (function
+    | M.Machine.Ev_reenable -> true
+    | _ -> false);
+  check "completions" o.M.Machine.completions (function
+    | M.Machine.Ev_completion -> true
+    | _ -> false);
+  (* The initial charged boot is recorded but is not a re-boot. *)
+  check "boots" (o.M.Machine.reboots + 1) (function
+    | M.Machine.Ev_boot _ -> true
+    | _ -> false)
+
+let test_events_match_counters () =
+  let attack_schedule =
+    Gecko_emi.Schedule.always
+      (Gecko_emi.Attack.remote ~distance_m:0.1
+         (Gecko_emi.Signal.make ~freq_mhz:27. ~power_dbm:20.))
+  in
+  let outage_harvester =
+    H.square_wave ~period:0.5 ~duty:0.6
+      (H.thevenin ~v_source:3.3 ~r_source:40.)
+  in
+  List.iter
+    (fun scheme ->
+      let image, meta = compile_and_link scheme in
+      List.iter
+        (fun (label, board, schedule) ->
+          let o =
+            M.Machine.run ~board ~image ~meta
+              {
+                M.Machine.default_options with
+                schedule;
+                record_events = true;
+                limit = M.Machine.Sim_time 0.3;
+                restart_on_halt = true;
+                max_sim_time = 1.;
+                seed = 11;
+              }
+          in
+          check_events_agree
+            (Core.Scheme.to_string scheme ^ "/" ^ label)
+            o)
+        [
+          ( "outages",
+            M.Board.default ~harvester:outage_harvester (),
+            Gecko_emi.Schedule.empty );
+          ( "attack",
+            M.Board.attack_rig ~device:Gecko_devices.Catalog.msp430fr5994 (),
+            attack_schedule );
+        ])
+    [ Core.Scheme.Nvp; Core.Scheme.Ratchet; Core.Scheme.Gecko ]
+
 let test_sim_time_cap () =
   (* A dead harvester and completions limit: the cap must kick in. *)
   let image, meta = compile_and_link Core.Scheme.Nvp in
@@ -191,6 +279,8 @@ let () =
           Alcotest.test_case "JIT resume events" `Quick test_jit_resume_events;
           Alcotest.test_case "io log" `Quick test_io_log;
           Alcotest.test_case "timeline buckets" `Quick test_timeline_buckets;
+          Alcotest.test_case "events match counters" `Quick
+            test_events_match_counters;
           Alcotest.test_case "sim-time cap" `Quick test_sim_time_cap;
         ] );
     ]

@@ -36,6 +36,29 @@ let test_stats () =
   let s = S.summarize [ 1.; 2.; 3. ] in
   Alcotest.(check int) "summary n" 3 s.S.n
 
+(* The documented empty-input policy: every aggregate is total and
+   returns 0. on [], and behaves sensibly on singletons. *)
+let test_stats_empty_singleton () =
+  let module S = Gecko_util.Stats in
+  Alcotest.check feq "geomean empty" 0. (S.geomean []);
+  Alcotest.check feq "stddev empty" 0. (S.stddev []);
+  Alcotest.check feq "minimum empty" 0. (S.minimum []);
+  Alcotest.check feq "maximum empty" 0. (S.maximum []);
+  Alcotest.check feq "percentile empty" 0. (S.percentile 90. []);
+  Alcotest.check feq "median empty" 0. (S.median []);
+  let s = S.summarize [] in
+  Alcotest.(check int) "summary empty n" 0 s.S.n;
+  Alcotest.check feq "summary empty median" 0. s.S.median;
+  Alcotest.check feq "mean singleton" 7. (S.mean [ 7. ]);
+  Alcotest.check feq "geomean singleton" 7. (S.geomean [ 7. ]);
+  Alcotest.check feq "stddev singleton" 0. (S.stddev [ 7. ]);
+  Alcotest.check feq "minimum singleton" 7. (S.minimum [ 7. ]);
+  Alcotest.check feq "maximum singleton" 7. (S.maximum [ 7. ]);
+  Alcotest.check feq "p0 singleton" 7. (S.percentile 0. [ 7. ]);
+  Alcotest.check feq "p50 singleton" 7. (S.percentile 50. [ 7. ]);
+  Alcotest.check feq "p100 singleton" 7. (S.percentile 100. [ 7. ]);
+  Alcotest.check feq "median singleton" 7. (S.median [ 7. ])
+
 let test_table () =
   let module T = Gecko_util.Table in
   let t = T.create ~header:[ "a"; "b" ] () in
@@ -70,7 +93,12 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
         ] );
-      ("stats", [ Alcotest.test_case "basics" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "empty & singleton" `Quick
+            test_stats_empty_singleton;
+        ] );
       ("render", [ Alcotest.test_case "table" `Quick test_table;
                    Alcotest.test_case "chart" `Quick test_chart ]);
     ]
