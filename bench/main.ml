@@ -19,7 +19,15 @@ open Gecko_isa
 let fidelity =
   match Sys.getenv_opt "GECKO_BENCH" with
   | Some "full" -> E.Full
-  | Some _ | None -> E.Quick
+  | Some ("quick" | "") | None -> E.Quick
+  | Some other ->
+      Printf.eprintf
+        "gecko-bench: unrecognized GECKO_BENCH=%S (expected \"quick\" or \
+         \"full\"); falling back to quick fidelity\n%!"
+        other;
+      E.Quick
+
+let now () = Unix.gettimeofday ()
 
 let banner name =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') name
@@ -27,12 +35,16 @@ let banner name =
 
 let regenerate () =
   List.map
-    (fun (name, (a : E.artifact)) ->
+    (fun (name, gen) ->
+      let t0 = now () in
+      let a : E.artifact = gen fidelity in
+      let wall = now () -. t0 in
       banner name;
       print_string a.E.text;
+      Printf.printf "[%s: %.2f s]\n" name wall;
       flush stdout;
-      (name, a.E.metrics))
-    (E.all_artifacts fidelity)
+      (name, a.E.metrics @ [ ("wall_seconds", wall) ]))
+    E.artifacts
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -128,7 +140,30 @@ let micro_benchmarks () =
     rows;
   rows
 
-let results_json ~experiments ~micro =
+(* Single-run interpreter throughput: simulated instructions retired per
+   wall-clock second on a long uninterrupted crc32/GECKO run.  This is
+   the headline number for interpreter-level optimizations, independent
+   of the experiment pool. *)
+let sim_instr_per_sec () =
+  let image, meta =
+    let p, meta = Core.Pipeline.compile Core.Scheme.Gecko (Lazy.force crc32_prog) in
+    (Link.link p, meta)
+  in
+  let board = Gecko_machine.Board.default () in
+  let opts =
+    {
+      Gecko_machine.Machine.default_options with
+      limit = Gecko_machine.Machine.Sim_time 2.0;
+      restart_on_halt = true;
+      max_sim_time = 3.0;
+    }
+  in
+  let t0 = now () in
+  let o = Gecko_machine.Machine.run ~board ~image ~meta opts in
+  let wall = now () -. t0 in
+  float_of_int o.Gecko_machine.Machine.instructions /. Float.max wall 1e-9
+
+let results_json ~experiments ~micro ~instr_per_sec ~wall_total =
   let metric_obj ms =
     Json.Assoc
       (List.map
@@ -142,6 +177,9 @@ let results_json ~experiments ~micro =
       ( "fidelity",
         Json.String (match fidelity with E.Quick -> "quick" | E.Full -> "full")
       );
+      ("jobs", Json.Int (Gecko_harness.Workbench.jobs ()));
+      ("wall_seconds_total", Json.Float wall_total);
+      ("sim_instr_per_sec", Json.Float instr_per_sec);
       ( "experiments",
         Json.Assoc (List.map (fun (n, ms) -> (n, metric_obj ms)) experiments)
       );
@@ -149,20 +187,35 @@ let results_json ~experiments ~micro =
     ]
 
 let () =
+  (match Sys.getenv_opt "GECKO_JOBS" with
+  | Some s when int_of_string_opt s = None ->
+      Printf.eprintf
+        "gecko-bench: unrecognized GECKO_JOBS=%S (expected an integer >= 1)\n%!"
+        s
+  | Some _ | None -> ());
   Printf.printf
-    "GECKO benchmark harness — %s fidelity (set GECKO_BENCH=full for the \
-     grids recorded in EXPERIMENTS.md)\n"
-    (match fidelity with E.Quick -> "quick" | E.Full -> "full");
+    "GECKO benchmark harness — %s fidelity, %d jobs (set GECKO_BENCH=full \
+     for the grids recorded in EXPERIMENTS.md; GECKO_JOBS=N sizes the \
+     experiment pool)\n"
+    (match fidelity with E.Quick -> "quick" | E.Full -> "full")
+    (Gecko_harness.Workbench.jobs ());
+  let t0 = now () in
   let experiments = regenerate () in
   let micro = micro_benchmarks () in
-  print_newline ();
+  banner "Interpreter throughput";
+  let instr_per_sec = sim_instr_per_sec () in
+  Printf.printf "simulated instructions per wall second: %.3e\n" instr_per_sec;
+  let wall_total = now () -. t0 in
+  Printf.printf "\ntotal wall time: %.2f s\n" wall_total;
   let out =
     match Sys.getenv_opt "GECKO_BENCH_OUT" with
     | Some p -> p
     | None -> "BENCH_results.json"
   in
   let oc = open_out out in
-  output_string oc (Json.to_string (results_json ~experiments ~micro));
+  output_string oc
+    (Json.to_string
+       (results_json ~experiments ~micro ~instr_per_sec ~wall_total));
   output_char oc '\n';
   close_out oc;
   Printf.printf "results -> %s\n" out

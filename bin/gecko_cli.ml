@@ -377,29 +377,44 @@ let experiment_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Use the full sweep grids (slow).")
   in
-  let run which full =
+  let jobs =
+    let doc =
+      "Size of the experiment pool (independent simulations per sweep \
+       point).  Defaults to $(b,GECKO_JOBS) or the runtime's recommended \
+       domain count; 1 runs fully serial."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run which full jobs =
+    (match jobs with
+    | Some n when n >= 1 -> Gecko.Workbench.set_jobs n
+    | Some n ->
+        Printf.eprintf "--jobs must be >= 1 (got %d)\n" n;
+        exit 1
+    | None -> ());
     let fidelity =
       if full then Gecko.Experiments.Full else Gecko.Experiments.Quick
     in
-    let artifacts = Gecko.Experiments.all fidelity in
     let selected =
-      if which = "all" then artifacts
-      else List.filter (fun (n, _) -> n = which) artifacts
+      if which = "all" then Gecko.Experiments.artifacts
+      else
+        List.filter (fun (n, _) -> n = which) Gecko.Experiments.artifacts
     in
     if selected = [] then begin
       Printf.eprintf "unknown artifact %s\n" which;
       exit 1
     end;
     List.iter
-      (fun (n, text) ->
-        Printf.printf "=== %s ===\n%s\n" n text;
+      (fun (n, gen) ->
+        let a = gen fidelity in
+        Printf.printf "=== %s ===\n%s\n" n a.Gecko.Experiments.text;
         flush stdout)
       selected
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure from the paper's evaluation")
-    Term.(const run $ which $ full)
+    Term.(const run $ which $ full $ jobs)
 
 let () =
   let info =

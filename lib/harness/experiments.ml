@@ -49,10 +49,14 @@ let baseline_rate ~board duration =
   M.forward_progress
     (Workbench.run_nvp_progress ~board ~schedule:Schedule.empty ~duration)
 
+(* Every sweep point is an independent simulation: fan the frequency
+   grid out over the experiment pool.  [pmap] preserves the input order
+   so the series (and everything rendered from it) is identical at any
+   pool size. *)
 let sweep ~board ~make_attack ~fidelity =
   let duration = sweep_duration fidelity in
   let baseline = baseline_rate ~board duration in
-  List.map
+  Workbench.pmap
     (fun f ->
       let attack = make_attack f in
       (f, rate_with ~board ~baseline (Schedule.always attack) duration))
@@ -191,17 +195,32 @@ let fig8_distance fidelity =
         :: List.map (fun d -> Printf.sprintf "%.1f m" d) distances)
       ()
   in
+  (* Whole power x distance grid through the pool; DoS counting and the
+     table rows are assembled serially from the ordered results. *)
+  let grid =
+    List.concat_map
+      (fun p -> List.map (fun dist -> (p, dist)) distances)
+      powers
+  in
+  let rates =
+    Array.of_list
+      (Workbench.pmap
+         (fun (p, dist) ->
+           let attack =
+             Attack.remote ~distance_m:dist
+               (Signal.make ~freq_mhz:27. ~power_dbm:p)
+           in
+           rate_with ~board ~baseline (Schedule.always attack) duration)
+         grid)
+  in
+  let ncols = List.length distances in
   let dos_cells = ref 0 in
-  List.iter
-    (fun p ->
+  List.iteri
+    (fun pi p ->
       let row =
-        List.map
-          (fun dist ->
-            let attack =
-              Attack.remote ~distance_m:dist
-                (Signal.make ~freq_mhz:27. ~power_dbm:p)
-            in
-            let r = rate_with ~board ~baseline (Schedule.always attack) duration in
+        List.mapi
+          (fun di _dist ->
+            let r = rates.((pi * ncols) + di) in
             if r < 0.5 then incr dos_cells;
             Printf.sprintf "%.0f%%%s" (100. *. r) (if r < 0.5 then " DoS" else ""))
           distances
@@ -244,27 +263,36 @@ let fig9_realtime fidelity =
   Buffer.add_string buf
     "Fig. 9 — Real-time attack control on MSP430FR5994 (R per time bucket; \
      staged on/near/off-resonance frequencies per monitor)\n\n";
-  List.iter
-    (fun (name, choice) ->
-      let schedule = schedule_for choice in
-      let board = attack_board Catalog.msp430fr5994 choice in
-      let image, meta = Workbench.compiled Core.Scheme.Nvp (Workbench.sense_app ()) in
-      let o =
-        M.run ~board ~image ~meta
-          {
-            M.default_options with
-            schedule;
-            limit = M.Sim_time total;
-            restart_on_halt = true;
-            timeline_bucket = Some (seg /. 4.);
-            max_sim_time = total +. 1.;
-          }
-      in
-      let base =
-        M.forward_progress
-          (Workbench.run_nvp_progress ~board ~schedule:Schedule.empty
-             ~duration:(seg *. 2.))
-      in
+  let configs = [ ("ADC", Device.Use_adc); ("comparator", Device.Use_comparator) ] in
+  let results =
+    Workbench.pmap
+      (fun (_name, choice) ->
+        let schedule = schedule_for choice in
+        let board = attack_board Catalog.msp430fr5994 choice in
+        let image, meta =
+          Workbench.compiled Core.Scheme.Nvp (Workbench.sense_app ())
+        in
+        let o =
+          M.run ~board ~image ~meta
+            {
+              M.default_options with
+              schedule;
+              limit = M.Sim_time total;
+              restart_on_halt = true;
+              timeline_bucket = Some (seg /. 4.);
+              max_sim_time = total +. 1.;
+            }
+        in
+        let base =
+          M.forward_progress
+            (Workbench.run_nvp_progress ~board ~schedule:Schedule.empty
+               ~duration:(seg *. 2.))
+        in
+        (o, base))
+      configs
+  in
+  List.iter2
+    (fun (name, _choice) (o, base) ->
       (match o.M.timeline with
       | Some tl ->
           let pts =
@@ -285,7 +313,7 @@ let fig9_realtime fidelity =
                [ { U.Chart.label = "forward progress"; points = pts } ])
       | None -> ());
       Buffer.add_char buf '\n')
-    [ ("ADC", Device.Use_adc); ("comparator", Device.Use_comparator) ];
+    configs results;
   { text = Buffer.contents buf; metrics = [] }
 
 (* ------------------------------------------------------------------ *)
@@ -327,29 +355,43 @@ let table1 fidelity =
       ()
   in
   let ms = ref [] in
-  List.iter
-    (fun d ->
-      let adc_points =
-        sweep ~board:(attack_board d Device.Use_adc) ~fidelity
-          ~make_attack:remote_signal
-      in
-      let fmin, rmin = min_point ~profile:d.Device.adc_profile adc_points in
-      let comp_cell =
-        if Device.has_comparator d then begin
-          let pts =
-            sweep ~board:(attack_board d Device.Use_comparator) ~fidelity
-              ~make_attack:remote_signal
-          in
-          let f, r =
-            match d.Device.comp_profile with
-            | Some p -> min_point ~profile:p pts
-            | None -> min_point pts
-          in
-          Printf.sprintf "%.1e%% / %.0fMHz" (100. *. r) f
-        end
-        else "N/A"
-      in
-      let fail = checkpoint_failure_rate_at ~device:d fmin duration in
+  (* The device loop stays serial — [sweep] already fans each frequency
+     grid out over the pool, and pool tasks must not nest.  The
+     checkpoint-failure runs depend on the per-device resonant
+     frequency, so they form a second pooled stage. *)
+  let per_device =
+    List.map
+      (fun d ->
+        let adc_points =
+          sweep ~board:(attack_board d Device.Use_adc) ~fidelity
+            ~make_attack:remote_signal
+        in
+        let fmin, rmin = min_point ~profile:d.Device.adc_profile adc_points in
+        let comp_cell =
+          if Device.has_comparator d then begin
+            let pts =
+              sweep ~board:(attack_board d Device.Use_comparator) ~fidelity
+                ~make_attack:remote_signal
+            in
+            let f, r =
+              match d.Device.comp_profile with
+              | Some p -> min_point ~profile:p pts
+              | None -> min_point pts
+            in
+            Printf.sprintf "%.1e%% / %.0fMHz" (100. *. r) f
+          end
+          else "N/A"
+        in
+        (d, fmin, rmin, comp_cell))
+      Catalog.all
+  in
+  let fails =
+    Workbench.pmap
+      (fun (d, fmin, _, _) -> checkpoint_failure_rate_at ~device:d fmin duration)
+      per_device
+  in
+  List.iter2
+    (fun (d, fmin, rmin, comp_cell) fail ->
       let key = slug d.Device.model in
       ms :=
         (key ^ ".fmax", fail)
@@ -364,7 +406,7 @@ let table1 fidelity =
           comp_cell;
           Printf.sprintf "%.0f%% / %.0fMHz" (100. *. fail) fmin;
         ])
-    Catalog.all;
+    per_device fails;
   { text = U.Table.render t; metrics = List.rev !ms }
 
 let table2 () =
@@ -401,9 +443,11 @@ let workload_cycles scheme name ~board ~options =
 
 let fig11_overhead_no_outage _fidelity =
   let board = Board.default () in
-  let rows, avgs =
-    List.fold_left
-      (fun (rows, avgs) name ->
+  (* One pool task per workload; each task runs its four scheme variants
+     back to back so the NVP baseline stays local to the closure. *)
+  let rows =
+    Workbench.pmap
+      (fun name ->
         let cycles scheme =
           let o, _, _ = workload_cycles scheme name ~board ~options:M.default_options in
           float_of_int (o.M.app_cycles + o.M.instrumentation_cycles)
@@ -414,10 +458,10 @@ let fig11_overhead_no_outage _fidelity =
             (fun s -> cycles s /. nvp)
             [ Core.Scheme.Ratchet; Core.Scheme.Gecko_noprune; Core.Scheme.Gecko ]
         in
-        ((name, vals) :: rows, vals :: avgs))
-      ([], []) W.names
+        (name, vals))
+      W.names
   in
-  let rows = List.rev rows in
+  let avgs = List.map snd rows in
   let geo i =
     U.Stats.geomean (List.map (fun vs -> List.nth vs i) avgs)
   in
@@ -455,12 +499,17 @@ let fig12_checkpoint_reduction _fidelity =
       ~header:[ "workload"; "candidates"; "emitted"; "removed"; "reduction" ]
       ()
   in
+  let stats =
+    Workbench.pmap
+      (fun name ->
+        let w = W.find name in
+        let _, meta = Workbench.compiled Core.Scheme.Gecko (w.W.build ()) in
+        meta.Core.Meta.stats)
+      W.names
+  in
   let tot_c = ref 0 and tot_k = ref 0 in
-  List.iter
-    (fun name ->
-      let w = W.find name in
-      let _, meta = Workbench.compiled Core.Scheme.Gecko (w.W.build ()) in
-      let s = meta.Core.Meta.stats in
+  List.iter2
+    (fun name s ->
       tot_c := !tot_c + s.Core.Meta.candidates;
       tot_k := !tot_k + s.Core.Meta.kept;
       U.Table.add_row t
@@ -473,7 +522,7 @@ let fig12_checkpoint_reduction _fidelity =
             (float_of_int (s.Core.Meta.candidates - s.Core.Meta.kept)
             /. float_of_int (max 1 s.Core.Meta.candidates));
         ])
-    W.names;
+    W.names stats;
   U.Table.add_sep t;
   U.Table.add_row t
     [
@@ -503,14 +552,18 @@ let table3_checkpoint_stores _fidelity =
       ~header:[ "app"; "# ckpt stores"; "recovery blocks"; "avg slice len" ]
       ()
   in
+  let per_app =
+    Workbench.pmap
+      (fun name ->
+        let w = W.find name in
+        let p, meta = Core.Pipeline.compile Core.Scheme.Gecko (w.W.build ()) in
+        (Core.Pipeline.checkpoint_store_count p, meta.Core.Meta.stats))
+      W.names
+  in
   let counts = ref [] in
-  List.iter
-    (fun name ->
-      let w = W.find name in
-      let p, meta = Core.Pipeline.compile Core.Scheme.Gecko (w.W.build ()) in
-      let n = Core.Pipeline.checkpoint_store_count p in
+  List.iter2
+    (fun name (n, s) ->
       counts := float_of_int n :: !counts;
-      let s = meta.Core.Meta.stats in
       U.Table.add_row t
         [
           name;
@@ -522,7 +575,7 @@ let table3_checkpoint_stores _fidelity =
                (float_of_int s.Core.Meta.recovery_instrs
                /. float_of_int s.Core.Meta.recovery_blocks));
         ])
-    W.names;
+    W.names per_app;
   U.Table.add_sep t;
   U.Table.add_row t
     [ "avg"; Printf.sprintf "%.0f" (U.Stats.mean !counts); ""; "" ];
@@ -548,7 +601,7 @@ let fig14_harvesting_overhead fidelity =
     }
   in
   let rows =
-    List.map
+    Workbench.pmap
       (fun name ->
         let time scheme =
           let o, _, _ = workload_cycles scheme name ~board ~options:opts in
@@ -622,24 +675,36 @@ let fig13_attack_scenarios fidelity =
         service; baseline = NVP without attack)\n\n"
        minute);
   let ms = ref [] in
-  List.iter
-    (fun (name, minutes) ->
+  let schemes = [ Core.Scheme.Nvp; Core.Scheme.Ratchet; Core.Scheme.Gecko ] in
+  let schedule_of minutes =
+    Schedule.make
+      (List.map
+         (fun m ->
+           Schedule.window
+             ~t_start:(float_of_int m *. minute)
+             ~t_end:(float_of_int (m + attack_len) *. minute)
+             (Attack.remote ~distance_m:0.3
+                (Signal.make ~freq_mhz:27. ~power_dbm:35.)))
+         minutes)
+  in
+  (* All scenario x scheme runs as one flat pool batch (18 tasks); the
+     per-scenario charts are regrouped from the ordered results. *)
+  let outs =
+    Array.of_list
+      (Workbench.pmap
+         (fun (minutes, scheme) -> run scheme (schedule_of minutes))
+         (List.concat_map
+            (fun (_, minutes) -> List.map (fun s -> (minutes, s)) schemes)
+            scenarios))
+  in
+  let nschemes = List.length schemes in
+  List.iteri
+    (fun si (name, _minutes) ->
       let scen = String.sub name 1 1 in
-      let schedule =
-        Schedule.make
-          (List.map
-             (fun m ->
-               Schedule.window
-                 ~t_start:(float_of_int m *. minute)
-                 ~t_end:(float_of_int (m + attack_len) *. minute)
-                 (Attack.remote ~distance_m:0.3
-                    (Signal.make ~freq_mhz:27. ~power_dbm:35.)))
-             minutes)
-      in
       let series =
-        List.map
-          (fun scheme ->
-            let o = run scheme schedule in
+        List.mapi
+          (fun ki scheme ->
+            let o = outs.((si * nschemes) + ki) in
             let pts =
               match o.M.timeline with
               | Some tl ->
@@ -698,26 +763,34 @@ let fig15_capacitor_sweep fidelity =
       ()
   in
   let ms = ref [] in
-  List.iter
-    (fun c ->
-      let board =
-        Board.with_capacitance (Board.default ~harvester ()) c
-      in
-      let time scheme =
-        let image, meta = Workbench.compiled scheme (Workbench.sense_app ()) in
-        let o =
-          M.run ~board ~image ~meta
-            {
-              M.default_options with
-              limit = M.Completions completions;
-              restart_on_halt = true;
-              start_charged = false;
-              max_sim_time = 3600.;
-            }
-        in
-        o.M.sim_time
-      in
-      let nvp = time Core.Scheme.Nvp and gecko = time Core.Scheme.Gecko in
+  (* Capacitor size x scheme, one pooled task per cell. *)
+  let cells =
+    List.concat_map
+      (fun c -> List.map (fun s -> (c, s)) [ Core.Scheme.Nvp; Core.Scheme.Gecko ])
+      sizes
+  in
+  let times =
+    Array.of_list
+      (Workbench.pmap
+         (fun (c, scheme) ->
+           let board = Board.with_capacitance (Board.default ~harvester ()) c in
+           let image, meta = Workbench.compiled scheme (Workbench.sense_app ()) in
+           let o =
+             M.run ~board ~image ~meta
+               {
+                 M.default_options with
+                 limit = M.Completions completions;
+                 restart_on_halt = true;
+                 start_charged = false;
+                 max_sim_time = 3600.;
+               }
+           in
+           o.M.sim_time)
+         cells)
+  in
+  List.iteri
+    (fun ci c ->
+      let nvp = times.(2 * ci) and gecko = times.((2 * ci) + 1) in
       ms :=
         (Printf.sprintf "cap_%.0fmf.gecko_over_nvp" (c *. 1e3), gecko /. nvp)
         :: !ms;
@@ -744,7 +817,7 @@ let ablation _fidelity =
       ()
   in
   let nvp_cycles =
-    List.map
+    Workbench.pmap
       (fun wname ->
         let w = W.find wname in
         let image, meta = Workbench.compiled Core.Scheme.Nvp (w.W.build ()) in
@@ -754,9 +827,9 @@ let ablation _fidelity =
   in
   let ms = ref [] in
   let row name ~slices ~reuse =
-    let overheads, stores =
-      List.fold_left
-        (fun (ovs, st) (wname, nvp) ->
+    let per_wl =
+      Workbench.pmap
+        (fun (wname, nvp) ->
           let w = W.find wname in
           let p, meta =
             Core.Pipeline.compile ~prune_slices:slices ~prune_reuse:reuse
@@ -767,9 +840,11 @@ let ablation _fidelity =
           let ov =
             float_of_int (o.M.app_cycles + o.M.instrumentation_cycles) /. nvp
           in
-          (ov :: ovs, st + Core.Pipeline.checkpoint_store_count p))
-        ([], 0) nvp_cycles
+          (ov, Core.Pipeline.checkpoint_store_count p))
+        nvp_cycles
     in
+    let overheads = List.map fst per_wl in
+    let stores = List.fold_left (fun acc (_, s) -> acc + s) 0 per_wl in
     let ov = U.Stats.geomean overheads -. 1. in
     U.Table.add_row t
       [
@@ -808,9 +883,9 @@ let budget_sweep _fidelity =
   let ms = ref [] in
   List.iter
     (fun budget ->
-      let overheads, regions =
-        List.fold_left
-          (fun (ovs, rg) wname ->
+      let per_wl =
+        Workbench.pmap
+          (fun wname ->
             let w = W.find wname in
             let nvp_image, nvp_meta =
               Workbench.compiled Core.Scheme.Nvp (w.W.build ())
@@ -827,9 +902,11 @@ let budget_sweep _fidelity =
               float_of_int (o.M.app_cycles + o.M.instrumentation_cycles)
               /. float_of_int (nvp_o.M.app_cycles + nvp_o.M.instrumentation_cycles)
             in
-            (ov :: ovs, rg + meta.Core.Meta.stats.Core.Meta.boundaries))
-          ([], 0) W.names
+            (ov, meta.Core.Meta.stats.Core.Meta.boundaries))
+          W.names
       in
+      let overheads = List.map fst per_wl in
+      let regions = List.fold_left (fun acc (_, r) -> acc + r) 0 per_wl in
       let ov = U.Stats.geomean overheads -. 1. in
       ms := (Printf.sprintf "budget_%d.overhead" budget, ov) :: !ms;
       U.Table.add_row t
@@ -856,10 +933,13 @@ let detection_latency fidelity =
       ()
   in
   let ms = ref [] in
-  List.iter
-    (fun (label, choice, freq) ->
-      let board = attack_board Catalog.msp430fr5994 choice in
-      let o =
+  let configs =
+    [ ("ADC", Device.Use_adc, 27.); ("comparator", Device.Use_comparator, 5.) ]
+  in
+  let outs =
+    Workbench.pmap
+      (fun (_label, choice, freq) ->
+        let board = attack_board Catalog.msp430fr5994 choice in
         M.run ~board ~image ~meta
           {
             M.default_options with
@@ -873,8 +953,11 @@ let detection_latency fidelity =
             restart_on_halt = true;
             record_events = true;
             max_sim_time = duration +. 1.;
-          }
-      in
+          })
+      configs
+  in
+  List.iter2
+    (fun (label, _choice, freq) o ->
       let latency =
         List.find_map
           (fun (e : M.event) ->
@@ -895,31 +978,31 @@ let detection_latency fidelity =
           | Some l -> Printf.sprintf "%.2f ms" (l *. 1e3)
           | None -> "not detected");
         ])
-    [
-      ("ADC", Device.Use_adc, 27.);
-      ("comparator", Device.Use_comparator, 5.);
-    ];
+    configs outs;
   { text = U.Table.render t; metrics = List.rev !ms }
 
-let all_artifacts fidelity =
+let artifacts =
   [
-    ("fig4", fig4_dpi_sweep fidelity);
-    ("fig5", fig5_remote_adc_sweep fidelity);
-    ("fig7", fig7_remote_comparator_sweep fidelity);
-    ("fig8", fig8_distance fidelity);
-    ("fig9", fig9_realtime fidelity);
-    ("table1", table1 fidelity);
-    ("table2", table2 ());
-    ("fig11", fig11_overhead_no_outage fidelity);
-    ("fig12", fig12_checkpoint_reduction fidelity);
-    ("fig13", fig13_attack_scenarios fidelity);
-    ("fig14", fig14_harvesting_overhead fidelity);
-    ("fig15", fig15_capacitor_sweep fidelity);
-    ("table3", table3_checkpoint_stores fidelity);
-    ("ablation", ablation fidelity);
-    ("budget-sweep", budget_sweep fidelity);
-    ("detection-latency", detection_latency fidelity);
+    ("fig4", fig4_dpi_sweep);
+    ("fig5", fig5_remote_adc_sweep);
+    ("fig7", fig7_remote_comparator_sweep);
+    ("fig8", fig8_distance);
+    ("fig9", fig9_realtime);
+    ("table1", table1);
+    ("table2", fun _ -> table2 ());
+    ("fig11", fig11_overhead_no_outage);
+    ("fig12", fig12_checkpoint_reduction);
+    ("fig13", fig13_attack_scenarios);
+    ("fig14", fig14_harvesting_overhead);
+    ("fig15", fig15_capacitor_sweep);
+    ("table3", table3_checkpoint_stores);
+    ("ablation", ablation);
+    ("budget-sweep", budget_sweep);
+    ("detection-latency", detection_latency);
   ]
+
+let all_artifacts fidelity =
+  List.map (fun (name, f) -> (name, f fidelity)) artifacts
 
 let all fidelity =
   List.map (fun (name, a) -> (name, a.text)) (all_artifacts fidelity)

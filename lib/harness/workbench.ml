@@ -32,18 +32,58 @@ let sense_app () =
   B.halt b;
   B.finish b
 
+(* The memo table is shared by the worker domains of the experiment
+   pool, so every lookup and insert holds [cache_mutex].  Compilation
+   itself also runs under the lock: it is cheap next to simulation, it
+   is deterministic, and holding the lock keeps two workers from
+   compiling the same program twice. *)
 let cache : (string * Core.Scheme.t, Link.image * Core.Meta.t) Hashtbl.t =
   Hashtbl.create 16
 
+let cache_mutex = Mutex.create ()
+
 let compiled scheme (prog : Cfg.program) =
   let key = (prog.Cfg.pname, scheme) in
-  match Hashtbl.find_opt cache key with
-  | Some v -> v
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some v -> v
+      | None ->
+          let p, meta = Core.Pipeline.compile scheme prog in
+          let v = (Link.link p, meta) in
+          Hashtbl.replace cache key v;
+          v)
+
+(* --- experiment pool -------------------------------------------------- *)
+
+(* The pool and its setting are only touched from the coordinating
+   domain (experiments hand closures to the pool; they never call
+   [pmap] from inside a task), so plain refs suffice. *)
+let requested_jobs : int option ref = ref None
+let current_pool : Gecko_util.Pool.t option ref = ref None
+
+let jobs () =
+  match !requested_jobs with
+  | Some n -> n
+  | None -> Gecko_util.Pool.default_jobs ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Workbench.set_jobs: jobs must be >= 1";
+  (match !current_pool with
+  | Some p when Gecko_util.Pool.jobs p <> n ->
+      Gecko_util.Pool.shutdown p;
+      current_pool := None
+  | Some _ | None -> ());
+  requested_jobs := Some n
+
+let pool () =
+  match !current_pool with
+  | Some p -> p
   | None ->
-      let p, meta = Core.Pipeline.compile scheme prog in
-      let v = (Link.link p, meta) in
-      Hashtbl.replace cache key v;
-      v
+      let p = Gecko_util.Pool.create ~jobs:(jobs ()) () in
+      current_pool := Some p;
+      p
+
+let pmap f xs = Gecko_util.Pool.map (pool ()) f xs
 
 let run_nvp_progress ~board ~schedule ~duration =
   let image, meta = compiled Core.Scheme.Nvp (sense_app ()) in

@@ -11,7 +11,27 @@ val sense_app : unit -> Cfg.program
 
 val compiled :
   Gecko_core.Scheme.t -> Cfg.program -> Link.image * Gecko_core.Meta.t
-(** Compile and link (memoized on program name + scheme). *)
+(** Compile and link (memoized on program name + scheme).  Thread-safe:
+    the memo table is shared with the experiment pool's worker domains
+    and guarded by a mutex. *)
+
+val jobs : unit -> int
+(** Effective parallelism of the experiment pool: the value given to
+    {!set_jobs}, else [GECKO_JOBS], else the runtime's recommended
+    domain count (see {!Gecko_util.Pool.default_jobs}). *)
+
+val set_jobs : int -> unit
+(** Fix the experiment pool's size ([>= 1]; 1 means fully serial).
+    Replaces a live pool of a different size.  Call from the
+    coordinating domain only — never from inside a {!pmap} task. *)
+
+val pmap : ('a -> 'b) -> 'a list -> 'b list
+(** Run one closure per sweep point on the shared experiment pool.
+    Order-preserving and exception-propagating (see
+    {!Gecko_util.Pool.map}).  Each closure must be self-contained: it
+    may call {!compiled} but must not call {!pmap} itself.  With one
+    job this is exactly [List.map], so experiment output is identical
+    at every pool size. *)
 
 val run_nvp_progress :
   board:Gecko_machine.Board.t ->

@@ -79,6 +79,10 @@ type outcome = {
   completions : int;
   completion_times : float list;  (** In order. *)
   sim_time : float;
+  instructions : int;
+      (** Instructions executed while powered — the simulator's unit of
+          interpreter throughput ([instructions /. wall_seconds] is the
+          bench harness's [sim_instr_per_sec]). *)
   app_cycles : int;  (** Cycles spent on original program instructions. *)
   app_seconds : float;
   instrumentation_cycles : int;

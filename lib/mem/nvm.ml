@@ -1,22 +1,44 @@
-type t = { data : int array; mutable reads : int; mutable writes : int }
+type t = {
+  data : int array;
+  checked : bool;
+  mutable reads : int;
+  mutable writes : int;
+}
 
-let create ~words =
+(* Explicit range validation (with a helpful message) is a debug mode:
+   in normal operation every address comes from the linker or from
+   masked dynamic indices, and the per-access cost matters because the
+   simulator touches NVM on the instruction hot path.  Unchecked mode
+   still cannot corrupt memory — OCaml's own array bounds check remains
+   and raises a plain [Invalid_argument] instead. *)
+let default_checked =
+  lazy
+    (match Sys.getenv_opt "GECKO_CHECKED" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let create ?checked ~words () =
   if words <= 0 then invalid_arg "Nvm.create: words must be positive";
-  { data = Array.make words 0; reads = 0; writes = 0 }
+  let checked =
+    match checked with Some c -> c | None -> Lazy.force default_checked
+  in
+  { data = Array.make words 0; checked; reads = 0; writes = 0 }
 
 let words t = Array.length t.data
+
+let checked t = t.checked
 
 let check t addr =
   if addr < 0 || addr >= Array.length t.data then
     invalid_arg (Printf.sprintf "Nvm: address %d out of range [0,%d)" addr (Array.length t.data))
 
 let read t addr =
-  check t addr;
+  if t.checked then check t addr;
   t.reads <- t.reads + 1;
   t.data.(addr)
 
 let write t addr v =
-  check t addr;
+  if t.checked then check t addr;
   t.writes <- t.writes + 1;
   t.data.(addr) <- v
 

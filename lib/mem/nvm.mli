@@ -10,9 +10,18 @@
 
 type t
 
-val create : words:int -> t
+val create : ?checked:bool -> words:int -> unit -> t
+(** [checked] enables explicit address validation with a descriptive
+    error message.  It defaults to false — all addresses come from the
+    linker or from masked indices, and the validation sits on the
+    simulator's instruction hot path — unless the [GECKO_CHECKED]
+    environment variable is set to [1]/[true]/[yes]/[on].  Unchecked
+    access is still memory-safe: an out-of-range address raises the
+    runtime's own [Invalid_argument "index out of bounds"]. *)
 
 val words : t -> int
+
+val checked : t -> bool
 
 val read : t -> int -> int
 (** Raises [Invalid_argument] on an out-of-range address. *)

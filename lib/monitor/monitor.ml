@@ -102,6 +102,16 @@ let observe_armed t ~time ~v_true ~disturbance =
           None
         end
 
+(* Earliest future time at which [observe] could do anything other than
+   return [None] without touching its state.  Lets the machine skip the
+   per-instruction call entirely between ADC samples. *)
+let next_sample_time t =
+  if not t.enabled then infinity
+  else
+    match t.kind with
+    | Adc { sample_period } -> t.last_tick +. sample_period
+    | Comparator _ -> neg_infinity
+
 let observe t ~time ~v_true ~disturbance =
   t.observations <- t.observations + 1;
   match observe_armed t ~time ~v_true ~disturbance with

@@ -50,6 +50,16 @@ val observe : t -> time:float -> v_true:float -> disturbance:float -> event opti
     ADC kind, triggers only fire on sampling ticks; the comparator fires
     once its latency has elapsed since the condition first held. *)
 
+val next_sample_time : t -> float
+(** The earliest time at which {!observe} could react: the next ADC
+    sampling tick ([last sample + period]); [neg_infinity] for the
+    always-listening comparator kind; [infinity] while disabled.  Callers
+    on a hot loop may skip {!observe} entirely before this time — every
+    skipped call would have returned [None] without changing any state.
+    The value is a lower bound that can only move later (sampling ticks
+    and {!sync} push it forward), so a cached copy is safe until the
+    monitor is re-enabled or observed again. *)
+
 val reset : t -> unit
 (** Forget pending condition timing (used at reboot). *)
 

@@ -4,6 +4,8 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+let reseed t seed = t.state <- Int64.of_int seed
+
 let next_seed t =
   t.state <- Int64.add t.state golden_gamma;
   t.state

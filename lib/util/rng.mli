@@ -10,6 +10,12 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] resets [t] in place to the state [create seed] would
+    produce, without allocating.  Hot paths that need a fresh
+    deterministic stream per draw (e.g. the machine's sensor input) keep
+    one generator and reseed it instead of allocating per call. *)
+
 val split : t -> t
 (** [split t] derives an independent generator; [t] is advanced. *)
 

@@ -1,5 +1,16 @@
+(* Frozen pre-optimization reference interpreter for the differential
+   property test (test_props.ml).  This is a verbatim copy of
+   lib/machine/machine.ml as of PR 1, BEFORE the hot-path optimization
+   work (attack-window cursor, cached device constants, batched ADC
+   observation, hoisted IO RNG).  Machine.run must produce identical
+   outcomes to Ref_machine.run on every program x board x schedule x
+   scheme; the differential QCheck property enforces it.  Do not
+   "clean up" or re-optimize this module — its value is that it stays
+   behind. *)
+
 open Gecko_isa
 open Gecko_emi
+module Board = Gecko_machine.Board
 module Nvm = Gecko_mem.Nvm
 module Capacitor = Gecko_energy.Capacitor
 module Harvester = Gecko_energy.Harvester
@@ -83,7 +94,6 @@ type outcome = {
   completions : int;
   completion_times : float list;
   sim_time : float;
-  instructions : int;
   app_cycles : int;
   app_seconds : float;
   instrumentation_cycles : int;
@@ -125,32 +135,16 @@ type state = {
   cap : Capacitor.t;
   monitor : Monitor.t;
   profile : Coupling.profile;
-  (* per-device constants, copied out of the board at creation so the
-     per-instruction paths never chase device/core pointers *)
-  k_cycle_time : float;
-  k_epc : float;
-  k_nvm_read_e : float;
-  k_nvm_write_e : float;
-  k_sleep_power : float;
-  k_v_off : float;
-  rng_io : Gecko_util.Rng.t;  (* per-run RNG behind [In], reseeded per draw *)
   regs : int array;
   mutable pc : int;
   mutable powered : bool;
   mutable time : float;
   mutable mode : Policy.mode;
-  (* attack cursor: windows are sorted by start time and non-overlapping
-     (Schedule invariant), and simulated time only moves forward, so a
-     monotone index replaces the per-instruction array scan *)
+  (* attack cursor *)
   windows : Schedule.window array;
-  mutable win_idx : int;
   mutable cur_amp : float;
   mutable cur_harvest_w : float;
   mutable next_change : float;
-  (* monitor cursor: earliest time the next [Monitor.observe] could
-     matter; refreshed whenever the monitor is observed or reconfigured *)
-  mutable next_obs : float;
-  mutable instrs : int;
   (* loop control *)
   mutable stop : bool;
   mutable hit_limit : bool;
@@ -190,11 +184,9 @@ type state = {
   hist_rollback : Gecko_obs.Metrics.histogram option;
 }
 
-let cycle_time st = st.k_cycle_time
-let epc st = st.k_epc
+let cycle_time st = Device.cycle_time st.board.Board.device
+let epc st = Device.energy_per_cycle st.board.Board.device
 let core st = st.board.Board.device.Device.core
-
-let refresh_obs st = st.next_obs <- Monitor.next_sample_time st.monitor
 
 let sleep_step = 100e-6
 
@@ -214,34 +206,22 @@ let ratchet_cell st parity r =
 
 (* --- attack cursor --------------------------------------------------- *)
 
-(* Windows are sorted and disjoint, and time is monotone: advance the
-   cursor past expired windows, then either enter the window under the
-   cursor or idle until it starts.  Amortized O(1) per instruction
-   instead of O(windows). *)
 let refresh_attack st =
   if st.time >= st.next_change then begin
-    let n = Array.length st.windows in
-    let i = ref st.win_idx in
-    while !i < n && st.time >= st.windows.(!i).Schedule.t_end do incr i done;
-    st.win_idx <- !i;
-    if !i >= n then begin
-      st.cur_amp <- 0.;
-      st.cur_harvest_w <- 0.;
-      st.next_change <- infinity
-    end
-    else begin
-      let w = st.windows.(!i) in
-      if st.time >= w.Schedule.t_start then begin
-        st.cur_amp <- Attack.induced_amplitude ~profile:st.profile w.Schedule.attack;
-        st.cur_harvest_w <- Attack.harvestable_power w.Schedule.attack;
-        st.next_change <- w.Schedule.t_end
-      end
-      else begin
-        st.cur_amp <- 0.;
-        st.cur_harvest_w <- 0.;
-        st.next_change <- w.Schedule.t_start
-      end
-    end
+    let amp = ref 0. and harv = ref 0. and next = ref infinity in
+    Array.iter
+      (fun (w : Schedule.window) ->
+        if st.time >= w.Schedule.t_start && st.time < w.Schedule.t_end then begin
+          amp := Attack.induced_amplitude ~profile:st.profile w.Schedule.attack;
+          harv := Attack.harvestable_power w.Schedule.attack;
+          next := min !next w.Schedule.t_end
+        end
+        else if w.Schedule.t_start > st.time then
+          next := min !next w.Schedule.t_start)
+      st.windows;
+    st.cur_amp <- !amp;
+    st.cur_harvest_w <- !harv;
+    st.next_change <- !next
   end
 
 (* --- time & energy --------------------------------------------------- *)
@@ -272,8 +252,8 @@ let spend st cycles ~extra =
   st.time <- st.time +. dt
 
 let nvm_extra st ~reads ~writes =
-  (float_of_int reads *. st.k_nvm_read_e)
-  +. (float_of_int writes *. st.k_nvm_write_e)
+  (float_of_int reads *. (core st).Device.nvm_read_energy)
+  +. (float_of_int writes *. (core st).Device.nvm_write_energy)
 
 (* --- observability ---------------------------------------------------- *)
 
@@ -329,8 +309,7 @@ let shutdown st =
     trace_span st ~t0:st.boot_time ~cat:"power" "power_on";
   st.powered <- false;
   Monitor.arm_wake st.monitor;
-  Monitor.sync st.monitor ~time:st.time;
-  refresh_obs st
+  Monitor.sync st.monitor ~time:st.time
 
 let brownout st =
   st.brownouts <- st.brownouts + 1;
@@ -347,10 +326,8 @@ let monitor_is_gecko st =
 let set_mode st m =
   st.mode <- m;
   Nvm.write st.nvm (sys_cell st Link.Cells.sys_mode) (Policy.mode_to_int m);
-  if monitor_is_gecko st then begin
-    Monitor.set_enabled st.monitor (Policy.monitor_enabled m);
-    refresh_obs st
-  end
+  if monitor_is_gecko st then
+    Monitor.set_enabled st.monitor (Policy.monitor_enabled m)
 
 (* --- program (re)start ----------------------------------------------- *)
 
@@ -621,23 +598,20 @@ let try_reboot st =
       Monitor.arm_backup st.monitor;
       Monitor.sync st.monitor ~time:st.time;
       record st (Ev_boot st.mode);
-      boot_protocol st;
-      refresh_obs st
+      boot_protocol st
     end
     else st.boot_inhibited <- true
   end
 
 (* --- instruction execution ------------------------------------------- *)
 
-(* Each sensor read draws from a stream keyed on (run seed, draw index,
-   port), so replays are deterministic and independent of execution
-   history.  The generator itself is hoisted per run and reseeded in
-   place — same values as a fresh [Rng.create] per draw, no allocation. *)
 let io_in_value st port =
-  Gecko_util.Rng.reseed st.rng_io
-    ((st.opts.seed * 1_000_003) + (st.io_in_count * 31) + port);
+  let h =
+    Gecko_util.Rng.create
+      ((st.opts.seed * 1_000_003) + (st.io_in_count * 31) + port)
+  in
   st.io_in_count <- st.io_in_count + 1;
-  Gecko_util.Rng.int st.rng_io 1024
+  Gecko_util.Rng.int h 1024
 
 let complete st =
   st.completions <- st.completions + 1;
@@ -736,7 +710,6 @@ let exec_op st i =
 
 let step_instr st =
   refresh_attack st;
-  st.instrs <- st.instrs + 1;
   (match st.image.Link.code.(st.pc) with
   | Link.Op i ->
       st.pc <- st.pc + 1;
@@ -776,20 +749,15 @@ let step_instr st =
     st.next_vsample <- st.time +. vsample_period
   end;
   if st.powered && not st.stop then begin
-    if Capacitor.voltage st.cap <= st.k_v_off then brownout st
-    else if st.time >= st.next_obs then begin
-      (* Between ADC sampling ticks every observe call returns [None]
-         without touching monitor state, so the calls are skipped
-         wholesale; the comparator kind is latency-sensitive and keeps
-         per-instruction observation ([next_obs] = -inf). *)
-      (match
-         Monitor.observe st.monitor ~time:st.time
-           ~v_true:(Capacitor.voltage st.cap) ~disturbance:st.cur_amp
-       with
+    if Capacitor.voltage st.cap <= st.board.Board.v_off then brownout st
+    else
+      let disturbance = st.cur_amp in
+      match
+        Monitor.observe st.monitor ~time:st.time
+          ~v_true:(Capacitor.voltage st.cap) ~disturbance
+      with
       | Some Monitor.Backup -> handle_backup st
-      | Some Monitor.Wake | None -> ());
-      refresh_obs st
-    end
+      | Some Monitor.Wake | None -> ()
   end
 
 let step_sleep st =
@@ -798,8 +766,9 @@ let step_sleep st =
   (* Below brownout the MCU is completely off; only capacitor leakage
      remains (two orders of magnitude below the LPM draw). *)
   let sleep_draw =
-    if Capacitor.voltage st.cap > st.k_v_off then st.k_sleep_power
-    else st.k_sleep_power /. 100.
+    if Capacitor.voltage st.cap > st.board.Board.v_off then
+      (core st).Device.sleep_power
+    else (core st).Device.sleep_power /. 100.
   in
   ignore (Capacitor.drain st.cap (sleep_draw *. dt));
   charge st dt;
@@ -869,25 +838,15 @@ let make_state ~board ~image ~meta opts =
       cap;
       monitor;
       profile;
-      k_cycle_time = Device.cycle_time device;
-      k_epc = Device.energy_per_cycle device;
-      k_nvm_read_e = device.Device.core.Device.nvm_read_energy;
-      k_nvm_write_e = device.Device.core.Device.nvm_write_energy;
-      k_sleep_power = device.Device.core.Device.sleep_power;
-      k_v_off = board.Board.v_off;
-      rng_io = Gecko_util.Rng.create 0;
       regs = Array.make Reg.count 0;
       pc = image.Link.entry;
       powered = opts.start_charged;
       time = 0.;
       mode = Policy.Jit_on;
       windows = Array.of_list (Schedule.windows opts.schedule);
-      win_idx = 0;
       cur_amp = 0.;
       cur_harvest_w = 0.;
       next_change = neg_infinity;
-      next_obs = neg_infinity;
-      instrs = 0;
       stop = false;
       hit_limit = false;
       progress_written = false;
@@ -955,7 +914,6 @@ let make_state ~board ~image ~meta opts =
   if not opts.start_charged then Monitor.arm_wake st.monitor;
   if monitor_is_gecko st then
     Monitor.set_enabled st.monitor (Policy.monitor_enabled st.mode);
-  refresh_obs st;
   (* The initial power-up is a boot like any other. *)
   if st.powered then record st (Ev_boot st.mode);
   st
@@ -979,7 +937,6 @@ let export_metrics st =
       c "machine.rollbacks" st.rollbacks;
       c "machine.recovery_block_runs" st.recovery_block_runs;
       c "machine.corruptions" st.corruptions;
-      c "machine.instructions" st.instrs;
       c "machine.app_cycles" st.app_cycles;
       c "machine.instrumentation_cycles" st.instrumentation_cycles;
       c "monitor.observations" (Monitor.observations st.monitor);
@@ -998,7 +955,6 @@ let finish st =
     completions = st.completions;
     completion_times = List.rev st.completion_times;
     sim_time = st.time;
-    instructions = st.instrs;
     app_cycles = st.app_cycles;
     app_seconds = float_of_int st.app_cycles *. cycle_time st;
     instrumentation_cycles = st.instrumentation_cycles;

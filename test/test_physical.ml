@@ -116,7 +116,7 @@ let test_monitor_comparator () =
     (Mon.observe m ~time:2e-6 ~v_true:2.0 ~disturbance:0. = Some Mon.Backup)
 
 let test_nvm () =
-  let n = Nvm.create ~words:8 in
+  let n = Nvm.create ~words:8 () in
   Nvm.write n 3 42;
   Alcotest.(check int) "read back" 42 (Nvm.read n 3);
   Alcotest.(check int) "stats" 1 (Nvm.writes n);

@@ -163,6 +163,197 @@ let prop_machine_deterministic =
       in
       once () = once ())
 
+(* --- differential: optimized interpreter vs frozen reference --------- *)
+
+(* [Ref_machine] is a verbatim copy of the interpreter from before the
+   hot-path optimizations (attack-window cursor, cached device
+   constants, batched ADC observation, hoisted IO RNG).  Every
+   optimization must be semantics-preserving, so both interpreters must
+   produce identical outcomes — including bit-exact floats, the IO
+   stream and the event log — on random programs, schemes, boards and
+   attack schedules. *)
+
+let random_schedule seed =
+  let rng = Gecko_util.Rng.create (seed + 17) in
+  let n = Gecko_util.Rng.int rng 4 in
+  let t = ref 0.0 in
+  let wins =
+    List.init n (fun _ ->
+        let gap = float_of_int (1 + Gecko_util.Rng.int rng 40) *. 1e-3 in
+        let len = float_of_int (1 + Gecko_util.Rng.int rng 40) *. 1e-3 in
+        let t0 = !t +. gap in
+        t := t0 +. len;
+        let freq = 20. +. float_of_int (Gecko_util.Rng.int rng 15) in
+        let power = 10. +. float_of_int (Gecko_util.Rng.int rng 25) in
+        Gecko_emi.Schedule.window ~t_start:t0 ~t_end:!t
+          (Gecko_emi.Attack.remote ~distance_m:0.1
+             (Gecko_emi.Signal.make ~freq_mhz:freq ~power_dbm:power)))
+  in
+  Gecko_emi.Schedule.make wins
+
+(* Project both outcome types onto one comparable shape (the reference
+   predates the [instructions] counter, which is therefore excluded). *)
+let norm_m (o : M.Machine.outcome) =
+  ( ( o.M.Machine.completions,
+      o.M.Machine.completion_times,
+      o.M.Machine.sim_time,
+      o.M.Machine.app_cycles,
+      o.M.Machine.app_seconds,
+      o.M.Machine.instrumentation_cycles ),
+    ( o.M.Machine.jit_checkpoints,
+      o.M.Machine.jit_checkpoint_failures,
+      o.M.Machine.reboots,
+      o.M.Machine.brownouts,
+      o.M.Machine.detections,
+      o.M.Machine.reenables ),
+    ( o.M.Machine.rollbacks,
+      o.M.Machine.recovery_block_runs,
+      o.M.Machine.corruptions,
+      o.M.Machine.io_out_count,
+      o.M.Machine.io_log,
+      o.M.Machine.final_mode ),
+    (match o.M.Machine.timeline with
+    | None -> None
+    | Some tl ->
+        Some
+          ( tl.M.Machine.bucket,
+            tl.M.Machine.app_seconds_per_bucket,
+            tl.M.Machine.completions_per_bucket )),
+    List.map (Format.asprintf "%a" M.Machine.pp_event) o.M.Machine.events,
+    o.M.Machine.hit_limit )
+
+let norm_r (o : Ref_machine.outcome) =
+  ( ( o.Ref_machine.completions,
+      o.Ref_machine.completion_times,
+      o.Ref_machine.sim_time,
+      o.Ref_machine.app_cycles,
+      o.Ref_machine.app_seconds,
+      o.Ref_machine.instrumentation_cycles ),
+    ( o.Ref_machine.jit_checkpoints,
+      o.Ref_machine.jit_checkpoint_failures,
+      o.Ref_machine.reboots,
+      o.Ref_machine.brownouts,
+      o.Ref_machine.detections,
+      o.Ref_machine.reenables ),
+    ( o.Ref_machine.rollbacks,
+      o.Ref_machine.recovery_block_runs,
+      o.Ref_machine.corruptions,
+      o.Ref_machine.io_out_count,
+      o.Ref_machine.io_log,
+      o.Ref_machine.final_mode ),
+    (match o.Ref_machine.timeline with
+    | None -> None
+    | Some tl ->
+        Some
+          ( tl.Ref_machine.bucket,
+            tl.Ref_machine.app_seconds_per_bucket,
+            tl.Ref_machine.completions_per_bucket )),
+    List.map (Format.asprintf "%a" Ref_machine.pp_event) o.Ref_machine.events,
+    o.Ref_machine.hit_limit )
+
+let diff_board seed =
+  let b = crashy_board () in
+  if seed mod 2 = 0 then b
+  else
+    { b with M.Board.monitor_choice = Gecko_devices.Device.Use_comparator }
+
+let prop_optimized_matches_reference =
+  QCheck.Test.make ~count:24
+    ~name:"optimized interpreter matches the frozen reference" seed_gen
+    (fun seed ->
+      let scheme =
+        List.nth
+          [ Core.Scheme.Nvp; Core.Scheme.Ratchet; Core.Scheme.Gecko_noprune;
+            Core.Scheme.Gecko ]
+          (seed mod 4)
+      in
+      let p, meta = compile scheme seed in
+      let image = Link.link p in
+      let board = diff_board seed in
+      let schedule = random_schedule seed in
+      let o =
+        M.Machine.run ~board ~image ~meta
+          {
+            M.Machine.default_options with
+            schedule;
+            limit = M.Machine.Sim_time 0.2;
+            max_sim_time = 0.25;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+            timeline_bucket = Some 0.01;
+          }
+      in
+      let r =
+        Ref_machine.run ~board ~image ~meta
+          {
+            Ref_machine.default_options with
+            Ref_machine.schedule;
+            limit = Ref_machine.Sim_time 0.2;
+            max_sim_time = 0.25;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+            timeline_bucket = Some 0.01;
+          }
+      in
+      norm_m o = norm_r r)
+
+(* The hoisted per-run IO RNG must reproduce the stream the reference
+   obtains by allocating a fresh generator per [In]. *)
+let prop_rng_reseed_matches_fresh =
+  QCheck.Test.make ~count:200 ~name:"Rng.reseed matches a fresh generator"
+    seed_gen (fun seed ->
+      let shared = Gecko_util.Rng.create 0 in
+      Gecko_util.Rng.reseed shared seed;
+      let fresh = Gecko_util.Rng.create seed in
+      let draws g =
+        let out = ref [] in
+        for _ = 1 to 5 do
+          out := Gecko_util.Rng.int g 1024 :: !out
+        done;
+        !out
+      in
+      draws shared = draws fresh)
+
+let prop_io_stream_unchanged =
+  QCheck.Test.make ~count:12
+    ~name:"hoisted IO RNG leaves the io_log stream unchanged" seed_gen
+    (fun seed ->
+      let image, meta =
+        Gecko_harness.Workbench.compiled Core.Scheme.Nvp
+          (Gecko_harness.Workbench.sense_app ())
+      in
+      let board = crashy_board () in
+      let opts_common = (0.15, seed) in
+      let sim_t, s = opts_common in
+      let o =
+        M.Machine.run ~board ~image ~meta
+          {
+            M.Machine.default_options with
+            limit = M.Machine.Sim_time sim_t;
+            max_sim_time = sim_t +. 0.05;
+            seed = s;
+            restart_on_halt = true;
+            record_io = true;
+          }
+      in
+      let r =
+        Ref_machine.run ~board ~image ~meta
+          {
+            Ref_machine.default_options with
+            Ref_machine.limit = Ref_machine.Sim_time sim_t;
+            max_sim_time = sim_t +. 0.05;
+            seed = s;
+            restart_on_halt = true;
+            record_io = true;
+          }
+      in
+      o.M.Machine.io_log <> []
+      && o.M.Machine.io_log = r.Ref_machine.io_log)
+
 (* Dynamic WCET: on steady power, consecutive boundary commits are never
    further apart than the compile-time budget. *)
 let prop_dynamic_budget =
@@ -196,6 +387,13 @@ let () =
       ("asm", q [ prop_asm_roundtrip ]);
       ( "machine",
         q [ prop_machine_deterministic; prop_dynamic_budget ] );
+      ( "differential",
+        q
+          [
+            prop_optimized_matches_reference;
+            prop_rng_reseed_matches_fresh;
+            prop_io_stream_unchanged;
+          ] );
       ( "physics",
         q
           [
