@@ -359,6 +359,157 @@ let run_cmd =
       const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ attack_at
       $ outages $ events $ trace_out $ metrics_out $ timeline)
 
+(* --- fuzz ------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module FI = Gecko.Faultinject in
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Total simulator-run budget: single-failure injection replays \
+             plus (a quarter of N) adversarial-schedule evaluations.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 0
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:"Additional double-failure (k=2) replays at random site pairs.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Replay pool size.  Defaults to $(b,GECKO_JOBS) or the \
+             runtime's recommended domain count; 1 runs fully serial.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON report here (default: stdout).")
+  in
+  let run name scheme budget seed pairs jobs out =
+    if budget < 1 then begin
+      Printf.eprintf "--budget must be >= 1 (got %d)\n" budget;
+      exit 1
+    end;
+    let jobs =
+      match jobs with
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Printf.eprintf "--jobs must be >= 1 (got %d)\n" n;
+          exit 1
+      | None -> Gecko.Util.Pool.default_jobs ()
+    in
+    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
+    let image = Gecko.Isa.Link.link p in
+    (* Exploration and fuzzing both want natural checkpoint/rollback
+       traffic within a short workload, so starve a micro-cap board
+       through a weak supply: the capacitor browns out every few hundred
+       instructions, which makes every protocol path (backup signal, JIT
+       checkpoint ISR, restore/rollback) part of the census. *)
+    let explore_board =
+      {
+        (Gecko.Board.default
+           ~harvester:
+             (Gecko.Energy.Harvester.thevenin ~v_source:3.3 ~r_source:2000.)
+           ())
+        with
+        Gecko.Board.capacitance = 0.6e-6;
+        v_backup = 2.8;
+      }
+    in
+    let fuzz_board = explore_board in
+    let explore =
+      FI.Explore.explore ~jobs ~budget ~pairs ~seed ~board:explore_board
+        ~image ~meta ()
+    in
+    let fuzz =
+      FI.Fuzz.fuzz ~jobs
+        ~budget:(max 8 (budget / 4))
+        ~seed ~board:fuzz_board ~image ~meta ()
+    in
+    (* Shrink a handful of counterexamples into replayable repro triples.
+       The repro program is the already-compiled one, so shrinking
+       re-links without re-running the pipeline. *)
+    (* A tight simulated-time cap keeps shrinking fast: candidate
+       programs whose deletions destroyed termination would otherwise
+       burn the full 30 s safety cap per replay. *)
+    let shrink_check board =
+      FI.Shrink.default_check
+        ~compile:(fun prog -> (Gecko.Isa.Link.link prog, meta))
+        ~board
+        ~opts:{ FI.Explore.default_opts with Gecko.Machine.max_sim_time = 1.0 }
+        ()
+    in
+    let cap n xs = List.filteri (fun i _ -> i < n) xs in
+    let repros =
+      List.map
+        (fun (f : FI.Explore.failure) ->
+          FI.Shrink.shrink ~check:(shrink_check explore_board)
+            {
+              FI.Shrink.r_prog = p;
+              r_schedule = Gecko.Emi.Schedule.empty;
+              r_fires = f.FI.Explore.f_fires;
+            })
+        (cap 2 explore.FI.Explore.failures)
+      @ List.map
+          (fun (f : FI.Fuzz.failure) ->
+            FI.Shrink.shrink ~check:(shrink_check fuzz_board)
+              {
+                FI.Shrink.r_prog = p;
+                r_schedule = f.FI.Fuzz.f_schedule;
+                r_fires = [];
+              })
+          (cap 1 fuzz.FI.Fuzz.failures)
+    in
+    let report =
+      FI.Report.make ~workload:name
+        ~scheme:(Compiler.Scheme.to_string scheme)
+        ~seed ~budget ~explore ~fuzz ~repros
+    in
+    let contents = Gecko.Obs.Json.to_string report in
+    (match out with
+    | Some path ->
+        write_file path contents;
+        Printf.printf "report -> %s\n" path
+    | None -> print_endline contents);
+    let total =
+      FI.Report.failures_total ~explore ~fuzz
+    in
+    Printf.printf
+      "%s as %s: %d sites (%d explored + %d pairs), fuzz best score %.0f\n\
+       injection failures %d | schedule failures %d | shrunk repros %d\n"
+      name
+      (Compiler.Scheme.to_string scheme)
+      explore.FI.Explore.sites_total explore.FI.Explore.explored
+      explore.FI.Explore.explored_pairs fuzz.FI.Fuzz.best_score
+      (List.length explore.FI.Explore.failures)
+      (List.length fuzz.FI.Fuzz.failures)
+      (List.length repros);
+    if total > 0 then begin
+      List.iter
+        (fun r -> print_string (FI.Shrink.to_ocaml r))
+        (cap 1 repros);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Exhaustive single-failure injection plus adversarial EMI-schedule \
+          fuzzing against the crash-consistency oracle")
+    Term.(const run $ workload_arg $ scheme_arg $ budget $ seed $ pairs $ jobs
+          $ out)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -423,4 +574,7 @@ let () =
         "EMI attacks on JIT checkpointing and the GECKO defense, on a \
          simulated intermittent system"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; run_cmd; fuzz_cmd; experiment_cmd ]))

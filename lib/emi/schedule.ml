@@ -22,6 +22,72 @@ let make windows =
 
 let always attack = [ { t_start = 0.; t_end = infinity; attack } ]
 
+(* --- mutation combinators --------------------------------------------- *)
+
+(* Re-establish the representation invariant from an arbitrary window
+   bag: sort by start, clamp to t >= 0, drop empty windows, and clip a
+   later-starting window where it overlaps an earlier one (the earlier
+   window wins).  Mutators can therefore be sloppy and stay valid. *)
+let normalize ws =
+  let sorted =
+    List.filter_map
+      (fun w ->
+        let t_start = Float.max 0. w.t_start in
+        if w.t_end > t_start then Some { w with t_start } else None)
+      ws
+    |> List.sort (fun a b -> compare (a.t_start, a.t_end) (b.t_start, b.t_end))
+  in
+  let rec clip last acc = function
+    | [] -> List.rev acc
+    | w :: rest ->
+        let t_start = Float.max w.t_start last in
+        if w.t_end <= t_start then clip last acc rest
+        else clip w.t_end ({ w with t_start } :: acc) rest
+  in
+  clip neg_infinity [] sorted
+
+let n_windows t = List.length t
+
+let nth t i = List.nth_opt t i
+
+let update_nth t i f =
+  if i < 0 || i >= List.length t then t
+  else normalize (List.concat (List.mapi (fun j w -> if j = i then f w else [ w ]) t))
+
+let shift_window t i dt =
+  update_nth t i (fun w ->
+      [ { w with t_start = w.t_start +. dt; t_end = w.t_end +. dt } ])
+
+let move_window t i ~t_start =
+  update_nth t i (fun w ->
+      let dur = w.t_end -. w.t_start in
+      [ { w with t_start; t_end = t_start +. dur } ])
+
+let scale_window t i k =
+  if k <= 0. then update_nth t i (fun _ -> [])
+  else
+    update_nth t i (fun w ->
+        [ { w with t_end = w.t_start +. (k *. (w.t_end -. w.t_start)) } ])
+
+let split_window t i frac =
+  if frac <= 0. || frac >= 1. then t
+  else
+    update_nth t i (fun w ->
+        let mid = w.t_start +. (frac *. (w.t_end -. w.t_start)) in
+        [ { w with t_end = mid }; { w with t_start = mid } ])
+
+let merge_with_next t i =
+  if i < 0 || i + 1 >= List.length t then t
+  else
+    let a = List.nth t i and b = List.nth t (i + 1) in
+    let merged = { a with t_end = Float.max a.t_end b.t_end } in
+    normalize
+      (merged :: List.filteri (fun j _ -> j <> i && j <> i + 1) t)
+
+let drop_window t i = update_nth t i (fun _ -> [])
+
+let add_window t w = normalize (w :: t)
+
 let active t time =
   List.find_map
     (fun w ->

@@ -22,3 +22,45 @@ val active : t -> float -> Attack.t option
 (** The attack active at a given simulation time, if any. *)
 
 val windows : t -> window list
+
+(** {2 Mutation combinators}
+
+    Building blocks of the adversarial schedule fuzzer
+    ([Gecko_faultinject.Fuzz]): split, merge, shift, move, re-scale or
+    drop individual windows.  Every combinator re-establishes the
+    schedule invariant by {!normalize}-ing its result, so arbitrary
+    mutation sequences always yield a runnable schedule.  Out-of-range
+    window indices leave the schedule unchanged. *)
+
+val normalize : window list -> t
+(** Sort by start time, clamp starts to [t >= 0], drop empty windows and
+    clip a later-starting window where it overlaps an earlier one (the
+    earlier window wins). *)
+
+val n_windows : t -> int
+
+val nth : t -> int -> window option
+
+val shift_window : t -> int -> float -> t
+(** Translate window [i] by [dt] seconds (either sign). *)
+
+val move_window : t -> int -> t_start:float -> t
+(** Move window [i] to start at [t_start], preserving its duration. *)
+
+val scale_window : t -> int -> float -> t
+(** Scale the duration of window [i] by [k] about its start
+    ([k <= 0.] drops the window). *)
+
+val split_window : t -> int -> float -> t
+(** Split window [i] into two at fraction [frac] of its duration
+    ([frac] outside [(0, 1)] is the identity). *)
+
+val merge_with_next : t -> int -> t
+(** Replace windows [i] and [i+1] by one spanning both (carrying window
+    [i]'s attack). *)
+
+val drop_window : t -> int -> t
+
+val add_window : t -> window -> t
+(** Insert a window; where it overlaps existing ones, earlier-starting
+    windows win (see {!normalize}). *)

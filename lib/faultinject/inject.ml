@@ -1,0 +1,66 @@
+module M = Gecko_machine.Machine
+
+type kind = K_instr | K_event of string | K_ckpt_word | K_rollback_step
+
+let event_name : M.event_kind -> string = function
+  | M.Ev_boot _ -> "boot"
+  | M.Ev_restore_jit -> "restore_jit"
+  | M.Ev_rollback _ -> "rollback"
+  | M.Ev_fresh_start -> "fresh_start"
+  | M.Ev_backup_signal true -> "backup_signal_early"
+  | M.Ev_backup_signal false -> "backup_signal"
+  | M.Ev_checkpoint -> "checkpoint"
+  | M.Ev_checkpoint_failed -> "checkpoint_failed"
+  | M.Ev_brownout -> "brownout"
+  | M.Ev_detection -> "detection"
+  | M.Ev_reenable -> "reenable"
+  | M.Ev_completion -> "completion"
+
+let kind_of : M.inject_site -> kind = function
+  | M.S_instr -> K_instr
+  | M.S_event k -> K_event (event_name k)
+  | M.S_ckpt_word _ -> K_ckpt_word
+  | M.S_rollback_step _ -> K_rollback_step
+
+let kind_name = function
+  | K_instr -> "instr"
+  | K_event n -> "event:" ^ n
+  | K_ckpt_word -> "ckpt_word"
+  | K_rollback_step -> "rollback_step"
+
+type site = { s_ordinal : int; s_kind : kind; s_time : float; s_instr : int }
+
+let census ~board ~image ~meta opts =
+  let sites = ref [] in
+  let n = ref 0 in
+  let h = M.Step.start ~board ~image ~meta opts in
+  M.Step.set_injector h
+    (Some
+       (fun s ->
+         sites :=
+           {
+             s_ordinal = !n;
+             s_kind = kind_of s;
+             s_time = M.Step.time h;
+             s_instr = M.Step.instructions h;
+           }
+           :: !sites;
+         incr n;
+         false));
+  while M.Step.step h do () done;
+  let o = M.Step.outcome h in
+  (Array.of_list (List.rev !sites), o, M.Step.nvm_data h)
+
+let run_with_fires ~board ~image ~meta opts ~fires =
+  let module IS = Set.Make (Int) in
+  let fires = IS.of_list fires in
+  let n = ref 0 in
+  let h = M.Step.start ~board ~image ~meta opts in
+  M.Step.set_injector h
+    (Some
+       (fun _ ->
+         let i = !n in
+         incr n;
+         IS.mem i fires));
+  while M.Step.step h do () done;
+  (M.Step.outcome h, M.Step.nvm_data h)

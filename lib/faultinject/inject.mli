@@ -1,0 +1,53 @@
+(** The deterministic injection driver under the explorer and the
+    shrinker.
+
+    The simulator consults its injector at every {!Gecko_machine.Machine.inject_site}
+    in a deterministic order, so the [n]-th consultation of a run — its
+    {e ordinal} — identifies an exact physical instant reproducibly.
+    [census] enumerates every consultation of an uninjected run;
+    [run_with_fires] replays the run forcing a supply collapse at chosen
+    ordinals.  With more than one fire, ordinals past the first count
+    consultations of the {e modified} execution (the run after the first
+    failure), which keeps multi-failure replays well defined. *)
+
+open Gecko_isa
+module M = Gecko_machine.Machine
+
+(** Coarse classification of a consultation site, used by the explorer's
+    coverage accounting. *)
+type kind =
+  | K_instr  (** Instruction fetch boundary. *)
+  | K_event of string  (** Runtime event (trace-id name, e.g. ["checkpoint"]). *)
+  | K_ckpt_word  (** NVM word write inside the JIT checkpoint ISR. *)
+  | K_rollback_step  (** Restore/recovery step of a rollback. *)
+
+val kind_name : kind -> string
+(** ["instr"], ["event:<name>"], ["ckpt_word"], ["rollback_step"]. *)
+
+type site = {
+  s_ordinal : int;  (** Consultation index within the run. *)
+  s_kind : kind;
+  s_time : float;  (** Simulated time of the consultation. *)
+  s_instr : int;  (** Instructions executed when it was consulted. *)
+}
+
+val census :
+  board:Gecko_machine.Board.t ->
+  image:Link.image ->
+  meta:Gecko_core.Meta.t ->
+  M.options ->
+  site array * M.outcome * int array
+(** Run to completion with a counting injector (which never fires) and
+    return every consultation site in order, plus the run's outcome and
+    final data-segment snapshot. *)
+
+val run_with_fires :
+  board:Gecko_machine.Board.t ->
+  image:Link.image ->
+  meta:Gecko_core.Meta.t ->
+  M.options ->
+  fires:int list ->
+  M.outcome * int array
+(** Replay the run forcing a supply collapse at each ordinal in [fires];
+    returns the outcome and the final data-segment snapshot.  Ordinals
+    beyond the run's consultation count simply never fire. *)

@@ -1,0 +1,95 @@
+module Json = Gecko_obs.Json
+module Schedule = Gecko_emi.Schedule
+
+let failures_total ~(explore : Explore.report) ~(fuzz : Fuzz.result) =
+  List.length explore.Explore.failures + List.length fuzz.Fuzz.failures
+
+let explore_json (r : Explore.report) =
+  Json.Assoc
+    [
+      ("sites_total", Json.Int r.Explore.sites_total);
+      ( "sites_by_kind",
+        Json.Assoc
+          (List.map (fun (k, v) -> (k, Json.Int v)) r.Explore.sites_by_kind) );
+      ("explored", Json.Int r.Explore.explored);
+      ("explored_pairs", Json.Int r.Explore.explored_pairs);
+      ("event_sites_covered", Json.Bool r.Explore.event_sites_covered);
+      ("instr_stride", Json.Int r.Explore.instr_stride);
+      ("baseline_ok", Json.Bool r.Explore.baseline_ok);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (f : Explore.failure) ->
+               Json.Assoc
+                 [
+                   ( "fires",
+                     Json.List
+                       (List.map (fun i -> Json.Int i) f.Explore.f_fires) );
+                   ("kind", Json.String f.Explore.f_kind);
+                   ("time", Json.Float f.Explore.f_time);
+                   ("detail", Json.String f.Explore.f_detail);
+                 ])
+             r.Explore.failures) );
+    ]
+
+let schedule_json s =
+  Json.List
+    (List.map
+       (fun (w : Schedule.window) ->
+         Json.Assoc
+           [
+             ("t_start", Json.Float w.Schedule.t_start);
+             ("t_end", Json.Float w.Schedule.t_end);
+           ])
+       (Schedule.windows s))
+
+let fuzz_json (r : Fuzz.result) =
+  Json.Assoc
+    [
+      ("evals", Json.Int r.Fuzz.evals);
+      ("best_score", Json.Float r.Fuzz.best_score);
+      ("best_windows", schedule_json r.Fuzz.best_schedule);
+      ( "best_counters",
+        Json.Assoc
+          [
+            ("corruptions", Json.Int r.Fuzz.best.Fuzz.c_corruptions);
+            ("ckpt_failures", Json.Int r.Fuzz.best.Fuzz.c_ckpt_failures);
+            ("brownouts", Json.Int r.Fuzz.best.Fuzz.c_brownouts);
+            ("detections", Json.Int r.Fuzz.best.Fuzz.c_detections);
+            ("completions", Json.Int r.Fuzz.best.Fuzz.c_completions);
+          ] );
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (f : Fuzz.failure) ->
+               Json.Assoc
+                 [
+                   ("windows", schedule_json f.Fuzz.f_schedule);
+                   ("detail", Json.String f.Fuzz.f_detail);
+                 ])
+             r.Fuzz.failures) );
+    ]
+
+let repro_json (r : Shrink.repro) =
+  Json.Assoc
+    [
+      ("instrs", Json.Int (Shrink.instr_count r));
+      ("windows", Json.Int (Schedule.n_windows r.Shrink.r_schedule));
+      ( "fires",
+        Json.List (List.map (fun i -> Json.Int i) r.Shrink.r_fires) );
+      ("ocaml", Json.String (Shrink.to_ocaml r));
+    ]
+
+let make ~workload ~scheme ~seed ~budget ~explore ~fuzz ~repros =
+  Json.Assoc
+    [
+      ("schema", Json.String "gecko.fuzz/1");
+      ("workload", Json.String workload);
+      ("scheme", Json.String scheme);
+      ("seed", Json.Int seed);
+      ("budget", Json.Int budget);
+      ("explore", explore_json explore);
+      ("fuzz", fuzz_json fuzz);
+      ("repros", Json.List (List.map repro_json repros));
+      ("failures_total", Json.Int (failures_total ~explore ~fuzz));
+    ]

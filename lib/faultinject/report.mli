@@ -1,0 +1,14 @@
+(** JSON report for [gecko fuzz]: exploration coverage, fuzzing summary
+    and shrunk reproducers, under the schema id ["gecko.fuzz/1"]. *)
+
+val make :
+  workload:string ->
+  scheme:string ->
+  seed:int ->
+  budget:int ->
+  explore:Explore.report ->
+  fuzz:Fuzz.result ->
+  repros:Shrink.repro list ->
+  Gecko_obs.Json.t
+
+val failures_total : explore:Explore.report -> fuzz:Fuzz.result -> int

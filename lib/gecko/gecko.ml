@@ -49,5 +49,6 @@ module Workloads = struct
   include Gecko_workloads.Workload
 end
 
+module Faultinject = Gecko_faultinject
 module Experiments = Gecko_harness.Experiments
 module Workbench = Gecko_harness.Workbench

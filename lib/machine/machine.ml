@@ -26,6 +26,17 @@ type event_kind =
 
 type event = { ev_time : float; ev_kind : event_kind }
 
+(* Fault-injection sites: the points where the simulator consults the
+   (optional) injector callback.  Each consultation is an instant at
+   which a power failure could physically strike: an instruction fetch
+   boundary, a runtime event, an individual NVM word write inside the
+   JIT checkpoint ISR, or a restore step inside a rollback. *)
+type inject_site =
+  | S_instr
+  | S_event of event_kind
+  | S_ckpt_word of int
+  | S_rollback_step of int
+
 let pp_event ppf e =
   let k =
     match e.ev_kind with
@@ -151,7 +162,11 @@ type state = {
      matter; refreshed whenever the monitor is observed or reconfigured *)
   mutable next_obs : float;
   mutable instrs : int;
+  (* fault injection: consulted at every {!inject_site}; [true] forces a
+     power failure at that exact point.  [None] keeps the plain path. *)
+  mutable injector : (inject_site -> bool) option;
   (* loop control *)
+  k_time_limit : float;  (* resolved stop time of [opts.limit] *)
   mutable stop : bool;
   mutable hit_limit : bool;
   mutable progress_written : bool;  (* progress flag written this power cycle *)
@@ -195,6 +210,19 @@ let epc st = st.k_epc
 let core st = st.board.Board.device.Device.core
 
 let refresh_obs st = st.next_obs <- Monitor.next_sample_time st.monitor
+
+(* --- fault injection -------------------------------------------------- *)
+
+let consult st site =
+  match st.injector with None -> false | Some f -> f site
+
+(* A forced power failure is a hard supply collapse: the capacitor is
+   emptied on the spot and every existing voltage check (per-word inside
+   the checkpoint ISR, per-instruction in the main loop) converts it
+   into the same partial-checkpoint / brownout behaviour a genuine
+   outage at that instant would produce.  Nothing downstream is
+   scripted. *)
+let force_power_failure st = Capacitor.set_voltage st.cap 0.
 
 let sleep_step = 100e-6
 
@@ -320,7 +348,11 @@ let record st kind =
         Gecko_obs.Trace.instant tr ~cat ~ts:st.time name
     | None -> ());
     sample_voltage st
-  end
+  end;
+  (* The event itself happened; the injector may kill the supply right
+     at it (e.g. the instant the backup signal fires, or the instant a
+     checkpoint completes). *)
+  if consult st (S_event kind) then force_power_failure st
 
 (* --- power transitions ----------------------------------------------- *)
 
@@ -382,9 +414,15 @@ let ctpl_sram_words = 96
 let jit_checkpoint_work st =
   st.jit_checkpoints <- st.jit_checkpoints + 1;
   spend st Cost.jit_isr_overhead_cycles ~extra:0.;
+  (* One injection site per NVM word the ISR writes (SRAM sections first,
+     then registers/PC/ACK): a forced collapse before word [k] leaves a
+     checkpoint cut short at exactly that word. *)
+  let kw = ref 0 in
   let failed_sram = ref false in
   (try
      for _ = 1 to ctpl_sram_words do
+       if consult st (S_ckpt_word !kw) then force_power_failure st;
+       incr kw;
        spend st Cost.nvm_write_cycles ~extra:(nvm_extra st ~reads:1 ~writes:1);
        if Capacitor.voltage st.cap <= st.board.Board.v_off then begin
          failed_sram := true;
@@ -401,6 +439,8 @@ let jit_checkpoint_work st =
   let failed = ref false in
   let write_word off v =
     if not !failed then begin
+      if consult st (S_ckpt_word !kw) then force_power_failure st;
+      incr kw;
       spend st Cost.nvm_write_cycles ~extra:(nvm_extra st ~reads:0 ~writes:1);
       if Capacitor.voltage st.cap <= st.board.Board.v_off then failed := true
       else Nvm.write st.nvm (jit_cell st off) v
@@ -476,16 +516,26 @@ let gecko_rollback_work st =
     record st (Ev_rollback bid);
     spend st Cost.rollback_overhead_cycles ~extra:0.;
     Array.fill st.regs 0 Reg.count 0;
+    let kr = ref 0 in
+    let rollback_site st =
+      if consult st (S_rollback_step !kr) then force_power_failure st;
+      incr kr
+    in
     (match Meta.boundary_info st.meta bid with
     | Some info ->
         List.iter
           (fun (r : Meta.restore) ->
+            rollback_site st;
             spend st Cost.nvm_read_cycles
               ~extra:(nvm_extra st ~reads:1 ~writes:0);
             st.regs.(Reg.to_int r.Meta.r_reg) <-
               Nvm.read st.nvm (gecko_cell st r.Meta.r_reg r.Meta.r_color))
           info.Meta.restores;
-        List.iter (run_recovery_slice st) info.Meta.recoveries
+        List.iter
+          (fun rec_ ->
+            rollback_site st;
+            run_recovery_slice st rec_)
+          info.Meta.recoveries
     | None -> ());
     st.pc <- Hashtbl.find st.image.Link.boundary_index bid + 1
   end
@@ -506,8 +556,11 @@ let ratchet_rollback_work st =
     st.rollbacks <- st.rollbacks + 1;
     record st (Ev_rollback bid);
     let parity = Nvm.read st.nvm (sys_cell st Link.Cells.sys_parity) in
+    let kr = ref 0 in
     List.iter
       (fun r ->
+        if consult st (S_rollback_step !kr) then force_power_failure st;
+        incr kr;
         spend st Cost.nvm_read_cycles ~extra:(nvm_extra st ~reads:1 ~writes:0);
         st.regs.(Reg.to_int r) <- Nvm.read st.nvm (ratchet_cell st parity r))
       Reg.all;
@@ -735,6 +788,13 @@ let exec_op st i =
       account_app_seconds st (float_of_int c *. cycle_time st)
 
 let step_instr st =
+  (* A forced failure at the fetch boundary: the instruction never
+     executes — exactly a power failure between two instructions. *)
+  if consult st S_instr then begin
+    force_power_failure st;
+    brownout st
+  end
+  else begin
   refresh_attack st;
   st.instrs <- st.instrs + 1;
   (match st.image.Link.code.(st.pc) with
@@ -790,6 +850,7 @@ let step_instr st =
       | Some Monitor.Wake | None -> ());
       refresh_obs st
     end
+  end
   end
 
 let step_sleep st =
@@ -888,6 +949,11 @@ let make_state ~board ~image ~meta opts =
       next_change = neg_infinity;
       next_obs = neg_infinity;
       instrs = 0;
+      injector = None;
+      k_time_limit =
+        (match opts.limit with
+        | Sim_time t -> Float.min t opts.max_sim_time
+        | Completions _ -> opts.max_sim_time);
       stop = false;
       hit_limit = false;
       progress_written = false;
@@ -1027,20 +1093,21 @@ let finish st =
     hit_limit = st.hit_limit;
   }
 
+let step_once st =
+  if st.stop then false
+  else if st.time >= st.k_time_limit then begin
+    st.stop <- true;
+    st.hit_limit <-
+      (match st.opts.limit with Sim_time _ -> true | Completions _ -> false);
+    false
+  end
+  else begin
+    (if st.powered then step_instr st else step_sleep st);
+    not st.stop
+  end
+
 let run_state st =
-  let time_limit =
-    match st.opts.limit with
-    | Sim_time t -> min t st.opts.max_sim_time
-    | Completions _ -> st.opts.max_sim_time
-  in
-  while not st.stop do
-    if st.time >= time_limit then begin
-      st.stop <- true;
-      st.hit_limit <- (match st.opts.limit with Sim_time _ -> true | Completions _ -> false)
-    end
-    else if st.powered then step_instr st
-    else step_sleep st
-  done;
+  while step_once st do () done;
   finish st
 
 let run ~board ~image ~meta opts =
@@ -1048,6 +1115,22 @@ let run ~board ~image ~meta opts =
 
 let data_snapshot st =
   Array.init st.image.Link.data_words (fun i -> Nvm.read st.nvm i)
+
+module Step = struct
+  type handle = state
+
+  let start ~board ~image ~meta opts = make_state ~board ~image ~meta opts
+  let set_injector st f = st.injector <- f
+  let step = step_once
+  let finished st = st.stop
+  let time st = st.time
+  let instructions st = st.instrs
+  let powered st = st.powered
+  let mode st = st.mode
+  let force_power_failure = force_power_failure
+  let outcome = finish
+  let nvm_data = data_snapshot
+end
 
 let run_with_nvm ~board ~image ~meta opts =
   let st = make_state ~board ~image ~meta opts in

@@ -41,6 +41,21 @@ type event = { ev_time : float; ev_kind : event_kind }
 
 val pp_event : Format.formatter -> event -> unit
 
+(** Fault-injection sites: the instants at which a run consults the
+    injector installed via {!Step.set_injector}.  Returning [true] from
+    the injector collapses the supply at exactly that point; everything
+    downstream (partial checkpoint, brownout, recovery) then follows
+    from the ordinary simulation machinery. *)
+type inject_site =
+  | S_instr  (** An instruction fetch boundary (the instruction does not
+                 execute). *)
+  | S_event of event_kind  (** A runtime event was just recorded. *)
+  | S_ckpt_word of int
+      (** The JIT checkpoint ISR is about to write NVM word [k] (SRAM
+          sections first, then registers/PC/ACK) — the word is lost. *)
+  | S_rollback_step of int
+      (** Restore/recovery step [k] of a rollback. *)
+
 type options = {
   schedule : Schedule.t;
   limit : limit;
@@ -129,3 +144,49 @@ val run_with_nvm :
   options ->
   outcome * int array
 (** Like {!run} but also returns the final data-segment snapshot. *)
+
+(** Deterministic stepping interface for fault-injection drivers
+    (`Gecko_faultinject`).
+
+    A handle is one run of {!run} broken into externally-driven steps; a
+    step is one instruction (while powered) or one sleep tick (while
+    off).  An installed injector is consulted at every {!inject_site} in
+    deterministic order, so "the [n]-th consultation" identifies an
+    exact injection point reproducibly across replays of the same
+    (board, image, options). *)
+module Step : sig
+  type handle
+
+  val start :
+    board:Board.t ->
+    image:Link.image ->
+    meta:Gecko_core.Meta.t ->
+    options ->
+    handle
+
+  val set_injector : handle -> (inject_site -> bool) option -> unit
+  (** Install (or remove) the injector consulted at every site.
+      Returning [true] forces a supply collapse at that instant. *)
+
+  val step : handle -> bool
+  (** Advance one step; [false] once the run has stopped (limit reached
+      or completed). *)
+
+  val finished : handle -> bool
+
+  val time : handle -> float
+  val instructions : handle -> int
+  val powered : handle -> bool
+  val mode : handle -> Gecko_core.Policy.mode
+
+  val force_power_failure : handle -> unit
+  (** Collapse the supply now (outside any injector callback). *)
+
+  val outcome : handle -> outcome
+  (** Close the run's bookkeeping and return the outcome.  Call once,
+      after {!step} returned [false] (metrics registries accumulate per
+      call). *)
+
+  val nvm_data : handle -> int array
+  (** Final data-segment snapshot (the crash-consistency subject). *)
+end

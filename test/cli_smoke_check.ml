@@ -1,0 +1,77 @@
+(* Validator for the CLI smoke artifacts produced by the dune rules in
+   this directory: the trace, metrics and fuzz-report JSON files written
+   by `gecko run`/`gecko fuzz` must parse and carry the expected keys.
+   Exits non-zero (failing the @runtest alias) on any violation. *)
+
+module Json = Gecko_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m -> fail "cannot read %s: %s" path m
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok j -> j
+  | Error m -> fail "%s: invalid JSON: %s" path m
+
+let need path j key =
+  match Json.member key j with
+  | Some v -> v
+  | None -> fail "%s: missing key %S" path key
+
+let need_list path j key =
+  match Json.to_list_opt (need path j key) with
+  | Some l -> l
+  | None -> fail "%s: key %S is not a list" path key
+
+let check_trace path =
+  let j = parse path in
+  (* Chrome trace-event format: a top-level array of event objects. *)
+  match j with
+  | Json.List (e :: _) -> ignore (need path e "ph")
+  | Json.List [] -> fail "%s: trace is empty" path
+  | _ -> fail "%s: expected a Chrome trace-event array" path
+
+let check_metrics path =
+  let j = parse path in
+  match need path j "counters" with
+  | Json.Assoc ((_ :: _) as counters) ->
+      if not (List.mem_assoc "machine.completions" counters) then
+        fail "%s: counters lack machine.completions" path
+  | _ -> fail "%s: counters missing or empty" path
+
+let check_fuzz path =
+  let j = parse path in
+  (match Json.to_string_opt (need path j "schema") with
+  | Some "gecko.fuzz/1" -> ()
+  | _ -> fail "%s: bad schema tag" path);
+  ignore (need path j "workload");
+  ignore (need path j "scheme");
+  let explore = need path j "explore" in
+  List.iter
+    (fun k -> ignore (need path explore k))
+    [ "sites_total"; "explored"; "event_sites_covered"; "baseline_ok"; "failures" ];
+  let fuzz = need path j "fuzz" in
+  List.iter (fun k -> ignore (need path fuzz k)) [ "evals"; "best_score" ];
+  ignore (need_list path j "repros");
+  match Json.to_float_opt (need path j "failures_total") with
+  | Some 0. -> ()
+  | Some n -> fail "%s: smoke fuzz found %g failures on a clean scheme" path n
+  | None -> fail "%s: failures_total is not a number" path
+
+let check_run_log path =
+  let s = read_file path in
+  if String.length s = 0 then fail "%s: empty CLI output" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; trace; metrics; fuzz; runlog ] ->
+      check_trace trace;
+      check_metrics metrics;
+      check_fuzz fuzz;
+      check_run_log runlog;
+      print_endline "cli smoke artifacts ok"
+  | _ -> fail "usage: cli_smoke_check TRACE METRICS FUZZ RUNLOG"

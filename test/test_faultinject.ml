@@ -1,0 +1,322 @@
+(* Tentpole tests for the fault-injection layer (Gecko_faultinject):
+   the exhaustive single-failure explorer over every workload x scheme,
+   the pinned vulnerability/defect landscape, the EMI schedule fuzzer,
+   the corruptions regression of the paper's headline result, and the
+   sabotage acceptance demo (deliberately broken colouring caught and
+   shrunk to a tiny replayable reproducer). *)
+
+open Gecko_isa
+module Core = Gecko_core
+module M = Gecko_machine.Machine
+module Board = Gecko_machine.Board
+module H = Gecko_energy.Harvester
+module Schedule = Gecko_emi.Schedule
+module W = Gecko_workloads
+module FI = Gecko_faultinject
+
+(* A starved board: the tiny capacitor makes the usable energy above
+   [v_backup] small enough that checkpoints trigger mid-run, while the
+   2.8 V backup threshold leaves a reserve large enough for the 96-word
+   ISR to finish.  This yields censuses rich in checkpoint-word,
+   rollback-step and event sites for every scheme. *)
+let fi_board () =
+  {
+    (Board.default ~harvester:(H.thevenin ~v_source:3.3 ~r_source:2000.) ())
+    with
+    Board.capacitance = 0.6e-6;
+    v_backup = 2.8;
+  }
+
+let compile ?budget_cycles scheme w =
+  let prog = (W.Workload.find w).W.Workload.build () in
+  let p, meta = Core.Pipeline.compile ?budget_cycles scheme prog in
+  (Link.link p, meta)
+
+let explore ?(budget = 120) ?pairs scheme w =
+  let image, meta = compile scheme w in
+  FI.Explore.explore ~jobs:2 ~budget ?pairs ~board:(fi_board ()) ~image ~meta ()
+
+(* {1 The explorer sweep: every workload x every scheme}
+
+   Expectations pinned from an exhaustive (budget 400) run of the
+   explorer, re-checked here at CI budget:
+
+   - Ratchet's parity double-buffering survives a collapse at every
+     explored site of every workload.
+   - NVP is crash-INCONSISTENT on qsort and fft: a collapse inside the
+     JIT checkpoint window resumes from a half-written snapshot (the
+     attack surface of the paper).
+   - GECKO has latent pre-existing defects on basicmath, blink,
+     dhrystone, fft and qsort (register-slot idempotence on dynamically
+     addressed stores; blink loses io_log entries across a rollback).
+     These are pinned as FOUND so the explorer's power is itself under
+     test; ROADMAP.md tracks the fixes.  When a fix lands, move the
+     workload into the clean set below. *)
+
+let nvp_failing = [ "fft"; "qsort" ]
+let gecko_failing = [ "basicmath"; "blink"; "dhrystone"; "fft"; "qsort" ]
+
+let expect_failures scheme w =
+  match scheme with
+  | Core.Scheme.Ratchet -> false
+  | Core.Scheme.Nvp -> List.mem w nvp_failing
+  | Core.Scheme.Gecko | Core.Scheme.Gecko_noprune -> List.mem w gecko_failing
+
+let sweep_one scheme w =
+  (* blink's and fft's GECKO defects sit at single sites the CI stride
+     misses; give those two the full exhaustive budget (still cheap). *)
+  let budget =
+    if scheme = Core.Scheme.Gecko && (w = "blink" || w = "fft") then 400
+    else 120
+  in
+  let r = explore ~budget scheme w in
+  let tag = Printf.sprintf "%s/%s" (Core.Scheme.to_string scheme) w in
+  Alcotest.(check bool) (tag ^ " baseline passes oracle") true
+    r.FI.Explore.baseline_ok;
+  Alcotest.(check bool) (tag ^ " sites found") true (r.FI.Explore.sites_total > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s failures (%d found)" tag
+       (List.length r.FI.Explore.failures))
+    (expect_failures scheme w)
+    (r.FI.Explore.failures <> [])
+
+let test_sweep scheme () = List.iter (sweep_one scheme) W.Workload.names
+
+let test_blink_io_log_defect () =
+  let r = explore ~budget:400 Core.Scheme.Gecko "blink" in
+  Alcotest.(check bool) "blink/gecko loses io_log entries" true
+    (List.exists
+       (fun f ->
+         let d = f.FI.Explore.f_detail in
+         String.length d >= 6 && String.sub d 0 6 = "golden")
+       r.FI.Explore.failures)
+
+(* {1 Census determinism and k=2 pairs} *)
+
+let test_census_deterministic () =
+  let image, meta = compile Core.Scheme.Gecko "crc16" in
+  let census () =
+    let sites, _, _ =
+      FI.Inject.census ~board:(fi_board ()) ~image ~meta FI.Explore.default_opts
+    in
+    Array.map
+      (fun s ->
+        ( s.FI.Inject.s_ordinal,
+          FI.Inject.kind_name s.FI.Inject.s_kind,
+          s.FI.Inject.s_time ))
+      sites
+  in
+  let a = census () and b = census () in
+  Alcotest.(check int) "same census size" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (o, k, t) ->
+      let o', k', t' = b.(i) in
+      if o <> o' || k <> k' || t <> t' then
+        Alcotest.failf "census diverges at site %d: (%d,%s,%g) vs (%d,%s,%g)" i
+          o k t o' k' t')
+    a
+
+let test_pairs_explored () =
+  let r = explore ~budget:40 ~pairs:8 Core.Scheme.Gecko "crc32" in
+  Alcotest.(check int) "k=2 replays" 8 r.FI.Explore.explored_pairs;
+  Alcotest.(check (list Alcotest.string)) "no pair failures on crc32" []
+    (List.map (fun f -> f.FI.Explore.f_detail) r.FI.Explore.failures)
+
+(* {1 Fuzzer} *)
+
+let test_fuzz_deterministic () =
+  let image, meta = compile Core.Scheme.Gecko "crc16" in
+  let opts = { FI.Explore.default_opts with M.max_sim_time = 2.0 } in
+  let go () =
+    FI.Fuzz.fuzz ~budget:12 ~seed:5 ~opts ~board:(fi_board ()) ~image ~meta ()
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int) "evals match budget" 12 a.FI.Fuzz.evals;
+  Alcotest.(check int) "same evals" a.FI.Fuzz.evals b.FI.Fuzz.evals;
+  Alcotest.(check (float 0.)) "same best score" a.FI.Fuzz.best_score
+    b.FI.Fuzz.best_score
+
+(* {1 Corruptions regression: the paper's headline numbers}
+
+   An intermittent supply plus a resonant EMI tone aimed at the
+   checkpoint windows learned from a recon trace.  NVP boots from
+   torn snapshots (corruptions); GECKO detects every induced failure
+   and never resumes from one. *)
+
+let attack_board () =
+  let harvester =
+    H.square_wave ~period:0.08 ~duty:0.2
+      (H.thevenin ~v_source:3.3 ~r_source:150.)
+  in
+  { (Board.attack_rig ()) with Board.harvester }
+
+let corruptions_under_checkpoint_attack scheme =
+  let board = attack_board () in
+  let attack = FI.Fuzz.resonant_attack board in
+  let image, meta = compile scheme "crc16" in
+  let base_opts =
+    {
+      M.default_options with
+      M.limit = M.Sim_time 2.0;
+      restart_on_halt = true;
+      max_sim_time = 3.0;
+      seed = 11;
+      record_events = true;
+    }
+  in
+  let recon = M.run ~board ~image ~meta base_opts in
+  let times = FI.Fuzz.checkpoint_times recon.M.events in
+  Alcotest.(check bool) "recon observed checkpoints" true (times <> []);
+  let schedule = FI.Fuzz.checkpoint_schedule ~attack ~width:0.03 times in
+  M.run ~board ~image ~meta { base_opts with M.schedule }
+
+let test_nvp_corrupts_under_attack () =
+  let o = corruptions_under_checkpoint_attack Core.Scheme.Nvp in
+  Alcotest.(check bool)
+    (Printf.sprintf "NVP corruptions > 0 (got %d)" o.M.corruptions)
+    true (o.M.corruptions > 0)
+
+let test_gecko_resists_attack () =
+  let o = corruptions_under_checkpoint_attack Core.Scheme.Gecko in
+  Alcotest.(check int) "GECKO corruptions" 0 o.M.corruptions;
+  Alcotest.(check bool)
+    (Printf.sprintf "GECKO detections > 0 (got %d)" o.M.detections)
+    true (o.M.detections > 0)
+
+(* {1 Sabotage acceptance: a broken scheme variant is caught and shrunk}
+
+   Collapse every checkpoint-slot colour to 0 (instructions and restore
+   metadata): span-adjacent boundaries now share (reg, colour) slots, so
+   a collapse between a boundary and its re-execution restores a stale
+   register.  The explorer must find it and the shrinker must reduce the
+   reproducer to at most 10 instructions of replayable OCaml. *)
+
+let acc_loop () =
+  let b = Builder.program "acc" in
+  let d = Builder.space b "d" ~words:2 () in
+  let acc = Reg.r1 and i = Reg.r2 and t = Reg.r3 in
+  Builder.func b "main";
+  Builder.block b "entry";
+  Builder.li b acc 0;
+  Builder.li b i 8;
+  Builder.block b "loop" ~loop_bound:8;
+  Builder.add b acc acc (Builder.reg i);
+  Builder.st b (Builder.at d 0) acc;
+  Builder.sub b i i (Builder.imm 1);
+  Builder.bin b Instr.Slt t i (Builder.imm 1);
+  Builder.br b Instr.Z t "loop" "fin";
+  Builder.block b "fin";
+  Builder.halt b;
+  Builder.finish b
+
+let sabotage_colors p meta =
+  let p = Core.Copy.program p in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.Cfg.instrs <-
+            List.map
+              (function
+                | Instr.Ckpt (r, _) -> Instr.Ckpt (r, 0)
+                | Instr.LdSlot (d, s, _) -> Instr.LdSlot (d, s, 0)
+                | i -> i)
+              blk.Cfg.instrs)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  let infos = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k (bi : Core.Meta.binfo) ->
+      Hashtbl.replace infos k
+        {
+          bi with
+          Core.Meta.restores =
+            List.map
+              (fun r -> { r with Core.Meta.r_color = 0 })
+              bi.Core.Meta.restores;
+        })
+    meta.Core.Meta.infos;
+  (p, { meta with Core.Meta.infos })
+
+let test_sabotaged_coloring_caught_and_shrunk () =
+  let board = fi_board () in
+  let p, meta =
+    Core.Pipeline.compile ~budget_cycles:80 Core.Scheme.Gecko (acc_loop ())
+  in
+  (* Control: the honestly compiled program survives every site. *)
+  let r0 =
+    FI.Explore.explore ~jobs:2 ~budget:400 ~board ~image:(Link.link p) ~meta ()
+  in
+  Alcotest.(check int) "clean variant has no failures" 0
+    (List.length r0.FI.Explore.failures);
+  let p', meta' = sabotage_colors p meta in
+  let r =
+    FI.Explore.explore ~jobs:2 ~budget:400 ~board ~image:(Link.link p')
+      ~meta:meta' ()
+  in
+  match r.FI.Explore.failures with
+  | [] -> Alcotest.fail "explorer missed the sabotaged colouring"
+  | f :: _ ->
+      let check =
+        FI.Shrink.default_check
+          ~compile:(fun q -> (Link.link q, meta'))
+          ~board
+          ~opts:{ FI.Explore.default_opts with M.max_sim_time = 0.5 }
+          ()
+      in
+      let repro =
+        FI.Shrink.shrink ~check
+          {
+            FI.Shrink.r_prog = p';
+            r_schedule = Schedule.empty;
+            r_fires = f.FI.Explore.f_fires;
+          }
+      in
+      let n = FI.Shrink.instr_count repro in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk reproducer has <= 10 instructions (got %d)" n)
+        true (n <= 10);
+      Alcotest.(check bool) "shrunk reproducer still fails" true (check repro);
+      let src = FI.Shrink.to_ocaml repro in
+      Alcotest.(check bool) "reproducer prints replayable OCaml" true
+        (String.length src > 0
+        && String.sub src 0 11 = "let program")
+
+let () =
+  Alcotest.run "faultinject"
+    [
+      ( "explorer-sweep",
+        [
+          Alcotest.test_case "ratchet clean everywhere" `Quick
+            (test_sweep Core.Scheme.Ratchet);
+          Alcotest.test_case "nvp landscape" `Quick
+            (test_sweep Core.Scheme.Nvp);
+          Alcotest.test_case "gecko landscape" `Quick
+            (test_sweep Core.Scheme.Gecko);
+          Alcotest.test_case "blink io_log defect detail" `Quick
+            test_blink_io_log_defect;
+        ] );
+      ( "explorer-mechanics",
+        [
+          Alcotest.test_case "census is deterministic" `Quick
+            test_census_deterministic;
+          Alcotest.test_case "k=2 pairs explored" `Quick test_pairs_explored;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "deterministic for a seed" `Quick
+            test_fuzz_deterministic;
+        ] );
+      ( "corruptions-regression",
+        [
+          Alcotest.test_case "nvp corrupts under checkpoint attack" `Quick
+            test_nvp_corrupts_under_attack;
+          Alcotest.test_case "gecko detects instead of corrupting" `Quick
+            test_gecko_resists_attack;
+        ] );
+      ( "sabotage",
+        [
+          Alcotest.test_case "broken colouring caught and shrunk" `Quick
+            test_sabotaged_coloring_caught_and_shrunk;
+        ] );
+    ]

@@ -64,6 +64,30 @@ let test_stress_many_tasks () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+(* Workbench.pmap rides on the shared pool; with several distinct
+   failures in flight, the one re-raised must be the earliest in INPUT
+   order, not completion order.  The earliest failing task is also the
+   slowest, so any completion-order implementation would raise one of
+   the later, faster failures instead. *)
+let test_workbench_pmap_first_failure_in_input_order () =
+  Gecko_harness.Workbench.set_jobs 3;
+  Alcotest.check_raises "earliest input-order failure re-raised"
+    (Failure "task 2") (fun () ->
+      ignore
+        (Gecko_harness.Workbench.pmap
+           (fun i ->
+             if i = 2 then begin
+               let s = ref 0 in
+               for k = 1 to 2_000_000 do
+                 s := !s + k
+               done;
+               ignore (Sys.opaque_identity !s);
+               failwith "task 2"
+             end
+             else if i = 5 || i = 7 then failwith (Printf.sprintf "task %d" i)
+             else i)
+           (List.init 12 Fun.id)))
+
 let () =
   Alcotest.run "pool"
     [
@@ -76,5 +100,10 @@ let () =
           Alcotest.test_case "size 1 = List.map" `Quick test_serial_matches_list_map;
           Alcotest.test_case "stress: many tasks" `Quick test_stress_many_tasks;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "workbench",
+        [
+          Alcotest.test_case "pmap first failure in input order" `Quick
+            test_workbench_pmap_first_failure_in_input_order;
         ] );
     ]

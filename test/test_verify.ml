@@ -1,0 +1,162 @@
+(* Unit tests for the compiler's final verification passes
+   (Gecko_core.Verify): each pass gets a positive control (a pipeline
+   compile must satisfy it) and a hand-built or sabotaged program that
+   must FAIL it.  The property tests exercise these passes on random
+   programs; these cases pin the failure detection itself, so a verifier
+   that degenerates to "always Ok" cannot survive. *)
+
+open Gecko_isa
+module B = Builder
+module Core = Gecko_core
+
+let acc_loop () =
+  let b = B.program "acc" in
+  let d = B.space b "d" ~words:2 () in
+  let acc = Reg.r1 and i = Reg.r2 and t = Reg.r3 in
+  B.func b "main";
+  B.block b "entry";
+  B.li b acc 0;
+  B.li b i 8;
+  B.block b "loop" ~loop_bound:8;
+  B.add b acc acc (B.reg i);
+  B.st b (B.at d 0) acc;
+  B.sub b i i (B.imm 1);
+  B.bin b Instr.Slt t i (B.imm 1);
+  B.br b Instr.Z t "loop" "fin";
+  B.block b "fin";
+  B.halt b;
+  B.finish b
+
+let compile ?budget_cycles scheme =
+  Core.Pipeline.compile ?budget_cycles scheme (acc_loop ())
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "%s: unexpected errors: %s" name (String.concat "; " msgs)
+
+let check_err name = function
+  | Ok () -> Alcotest.failf "%s: expected a verification failure, got Ok" name
+  | Error msgs ->
+      Alcotest.(check bool) (name ^ " reports at least one message") true (msgs <> [])
+
+(* --- idempotence ------------------------------------------------------ *)
+
+(* A load/store anti-dependence on the same word with no boundary between
+   them: re-executing the region reads its own output. *)
+let war_no_boundary () =
+  let b = B.program "war" in
+  let d = B.space b "d" ~words:1 () in
+  B.func b "main";
+  B.block b "entry";
+  B.ld b Reg.r1 (B.at d 0);
+  B.add b Reg.r1 Reg.r1 (B.imm 1);
+  B.st b (B.at d 0) Reg.r1;
+  B.halt b;
+  B.finish b
+
+let test_idempotence_flags_war () =
+  check_err "idempotence on WAR without boundary"
+    (Core.Verify.idempotence (war_no_boundary ()))
+
+let test_idempotence_ok_after_pipeline () =
+  let p, _ = compile Core.Scheme.Gecko in
+  check_ok "idempotence on compiled program" (Core.Verify.idempotence p)
+
+(* A compiled program with its Boundary instructions stripped must fail:
+   the pipeline placed a boundary between the WAR program's load and
+   store exactly to break that hazard. *)
+let test_idempotence_flags_stripped_boundaries () =
+  let p, _ = Core.Pipeline.compile Core.Scheme.Gecko (war_no_boundary ()) in
+  let p = Core.Copy.program p in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.Cfg.instrs <-
+            List.filter
+              (function Instr.Boundary _ -> false | _ -> true)
+              blk.Cfg.instrs)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  check_err "idempotence after stripping boundaries" (Core.Verify.idempotence p)
+
+(* --- coloring --------------------------------------------------------- *)
+
+let sabotage_colors p meta =
+  let p = Core.Copy.program p in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          blk.Cfg.instrs <-
+            List.map
+              (function
+                | Instr.Ckpt (r, _) -> Instr.Ckpt (r, 0)
+                | Instr.LdSlot (d, s, _) -> Instr.LdSlot (d, s, 0)
+                | i -> i)
+              blk.Cfg.instrs)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  let infos = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k (bi : Core.Meta.binfo) ->
+      Hashtbl.replace infos k
+        {
+          bi with
+          Core.Meta.restores =
+            List.map
+              (fun r -> { r with Core.Meta.r_color = 0 })
+              bi.Core.Meta.restores;
+        })
+    meta.Core.Meta.infos;
+  (p, { meta with Core.Meta.infos })
+
+let test_coloring_ok_after_pipeline () =
+  (* A small budget forces in-loop boundaries, so the accumulator's slot
+     really is saved at adjacent boundaries and the colours matter. *)
+  let p, meta = compile ~budget_cycles:80 Core.Scheme.Gecko in
+  check_ok "coloring on compiled program" (Core.Verify.coloring p meta)
+
+let test_coloring_flags_collapsed_colors () =
+  let p, meta = compile ~budget_cycles:80 Core.Scheme.Gecko in
+  let p', meta' = sabotage_colors p meta in
+  check_err "coloring with every colour forced to 0"
+    (Core.Verify.coloring p' meta')
+
+(* --- wcet ------------------------------------------------------------- *)
+
+let test_wcet_ok_with_ample_budget () =
+  let p, _ = compile ~budget_cycles:80 Core.Scheme.Gecko in
+  check_ok "wcet within the compile budget" (Core.Verify.wcet ~budget:80 p)
+
+let test_wcet_flags_tiny_budget () =
+  let p, _ = compile Core.Scheme.Gecko in
+  check_err "wcet with a 1-cycle budget" (Core.Verify.wcet ~budget:1 p)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "idempotence",
+        [
+          Alcotest.test_case "flags WAR without boundary" `Quick
+            test_idempotence_flags_war;
+          Alcotest.test_case "accepts compiled program" `Quick
+            test_idempotence_ok_after_pipeline;
+          Alcotest.test_case "flags stripped boundaries" `Quick
+            test_idempotence_flags_stripped_boundaries;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "accepts compiled program" `Quick
+            test_coloring_ok_after_pipeline;
+          Alcotest.test_case "flags collapsed colours" `Quick
+            test_coloring_flags_collapsed_colors;
+        ] );
+      ( "wcet",
+        [
+          Alcotest.test_case "accepts ample budget" `Quick
+            test_wcet_ok_with_ample_budget;
+          Alcotest.test_case "flags tiny budget" `Quick
+            test_wcet_flags_tiny_budget;
+        ] );
+    ]
