@@ -516,7 +516,7 @@ let experiment_cmd =
   let names =
     [ "fig4"; "fig5"; "fig7"; "fig8"; "fig9"; "table1"; "table2"; "fig11";
       "fig12"; "fig13"; "fig14"; "fig15"; "table3"; "ablation";
-      "budget-sweep"; "detection-latency" ]
+      "budget-sweep"; "soundness-overhead"; "detection-latency" ]
   in
   let which =
     let doc =

@@ -7,6 +7,9 @@ let may_alias (a : Instr.mref) (b : Instr.mref) =
   | Instr.Dconst x, Instr.Dconst y -> x = y
   | Instr.Dreg _, _ | _, Instr.Dreg _ -> true
 
+let is_dynamic (m : Instr.mref) =
+  match m.Instr.disp with Instr.Dreg _ -> true | Instr.Dconst _ -> false
+
 let space_written p (s : Instr.space) =
   let found = ref false in
   Cfg.iter_instrs p (fun i ->
@@ -23,3 +26,225 @@ let location_read_only p (m : Instr.mref) =
       | Some w when may_alias w m -> clobbered := true
       | Some _ | None -> ());
   not !clobbered
+
+(* --- last write before a point ------------------------------------- *)
+
+type write_before =
+  | Write of int
+  | Clobbered of int
+  | No_write
+
+(* Provably-same-location test within one straight-line body: same space
+   and either equal constant displacements, or the same index register
+   with no redefinition between the two positions. *)
+let must_alias_in_block (body : Instr.t array) j idx (w : Instr.mref)
+    (m : Instr.mref) =
+  w.Instr.space.Instr.space_id = m.Instr.space.Instr.space_id
+  &&
+  match (w.Instr.disp, m.Instr.disp) with
+  | Instr.Dconst a, Instr.Dconst b -> a = b
+  | Instr.Dreg a, Instr.Dreg b ->
+      Reg.equal a b
+      && (let unchanged = ref true in
+          for k = j + 1 to idx - 1 do
+            if Reg.Set.mem a (Instr.defs body.(k)) then unchanged := false
+          done;
+          !unchanged)
+  | Instr.Dconst _, Instr.Dreg _ | Instr.Dreg _, Instr.Dconst _ -> false
+
+let last_write_before ?(strict = true) (body : Instr.t array) idx
+    (m : Instr.mref) =
+  let result = ref No_write in
+  (try
+     for j = idx - 1 downto 0 do
+       match body.(j) with
+       | Instr.Boundary _ -> raise Exit
+       | i -> (
+           match Instr.mem_write i with
+           | Some w when must_alias_in_block body j idx w m ->
+               result := Write j;
+               raise Exit
+           | Some w when strict && may_alias w m ->
+               (* A may-aliasing (dynamically addressed) store intervenes:
+                  nothing earlier can be trusted to describe the
+                  location's content.  The non-strict mode reproduces the
+                  seed's silently-optimistic scan, which skipped such
+                  stores and kept searching — kept only as the
+                  measurement baseline for the soundness overhead. *)
+               result := Clobbered j;
+               raise Exit
+           | Some _ | None -> ())
+     done
+   with Exit -> ());
+  !result
+
+(* --- may-alias WAR hazard set --------------------------------------- *)
+
+type hazard = {
+  hz_func : string;
+  hz_load : int * int;
+  hz_store_func : string;
+  hz_store : int * int;
+  hz_ref : Instr.mref;
+  hz_dynamic : bool;
+}
+
+(* Program-wide forward-walk context: block bodies per function, plus the
+   call graph links needed to continue a walk through calls and returns. *)
+type walker = {
+  wfuncs : Cfg.func array;
+  wgraphs : Fgraph.t array;
+  wbodies : Instr.t array array array;
+  wfunc_index : (string, int) Hashtbl.t;
+  wret_points : (string, (int * int) list) Hashtbl.t;
+}
+
+let walker (p : Cfg.program) =
+  let wfuncs = Array.of_list p.Cfg.funcs in
+  let wgraphs = Array.map Fgraph.of_func wfuncs in
+  let wbodies =
+    Array.map
+      (fun (g : Fgraph.t) ->
+        Array.map
+          (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs)
+          g.Fgraph.blocks)
+      wgraphs
+  in
+  let wfunc_index = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (f : Cfg.func) -> Hashtbl.replace wfunc_index f.Cfg.fname i)
+    wfuncs;
+  let wret_points = Hashtbl.create 8 in
+  Array.iteri
+    (fun fi (g : Fgraph.t) ->
+      Array.iter
+        (fun (b : Cfg.block) ->
+          match b.Cfg.term with
+          | Instr.Call (callee, ret) ->
+              let ret_blk = Fgraph.block_id g ret in
+              let old =
+                try Hashtbl.find wret_points callee with Not_found -> []
+              in
+              Hashtbl.replace wret_points callee ((fi, ret_blk) :: old)
+          | Instr.Jmp _ | Instr.Br _ | Instr.Ret | Instr.Halt -> ())
+        g.Fgraph.blocks)
+    wgraphs;
+  { wfuncs; wgraphs; wbodies; wfunc_index; wret_points }
+
+(* Every store that may alias [m], reachable from (fi, blk, idx) without
+   crossing a boundary.  Each path stops at its first such store (a cut
+   inserted before it re-protects everything behind it) or at a boundary.
+   When [interproc], the walk follows calls into the callee entry and
+   returns into every caller's return block (context-insensitive, hence
+   conservative); otherwise it stops at call/return terminators — the
+   seed's interprocedural blind spot, kept as the measurement baseline. *)
+let war_stores ~interproc w fi blk idx m ~f =
+  let visited = Hashtbl.create 16 in
+  let rec scan fi blk idx =
+    let body = w.wbodies.(fi).(blk) in
+    let n = Array.length body in
+    let stop = ref false in
+    let i = ref idx in
+    while (not !stop) && !i < n do
+      (match body.(!i) with
+      | Instr.Boundary _ -> stop := true
+      | instr -> (
+          match Instr.mem_write instr with
+          | Some sw when may_alias sw m ->
+              f fi blk !i sw;
+              stop := true
+          | Some _ | None -> ()));
+      incr i
+    done;
+    if not !stop then
+      let g = w.wgraphs.(fi) in
+      match g.Fgraph.blocks.(blk).Cfg.term with
+      | Instr.Halt -> ()
+      | Instr.Jmp _ | Instr.Br _ ->
+          List.iter (fun s -> enter fi s) g.Fgraph.succ.(blk)
+      | Instr.Call (callee, _) ->
+          if interproc then (
+            match Hashtbl.find_opt w.wfunc_index callee with
+            | Some cf -> enter cf 0
+            | None -> ())
+      | Instr.Ret ->
+          if interproc then
+            let fname = w.wfuncs.(fi).Cfg.fname in
+            List.iter
+              (fun (caller, ret_blk) -> enter caller ret_blk)
+              (try Hashtbl.find w.wret_points fname with Not_found -> [])
+  and enter fi blk =
+    if not (Hashtbl.mem visited (fi, blk)) then begin
+      Hashtbl.replace visited (fi, blk) ();
+      scan fi blk 0
+    end
+  in
+  scan fi blk idx
+
+let war_hazards ?(strict = true) ?(interproc = true) (p : Cfg.program) =
+  let w = walker p in
+  let out = ref [] in
+  Array.iteri
+    (fun fi (bodies : Instr.t array array) ->
+      let fname = w.wfuncs.(fi).Cfg.fname in
+      Array.iteri
+        (fun bi body ->
+          Array.iteri
+            (fun idx instr ->
+              match Instr.mem_read instr with
+              | Some m -> (
+                  match last_write_before ~strict body idx m with
+                  | Write _ ->
+                      () (* WARAW-exempt: re-execution rewrites first *)
+                  | Clobbered _ | No_write ->
+                      war_stores ~interproc w fi bi (idx + 1) m
+                        ~f:(fun sfi sblk sidx sw ->
+                          out :=
+                            {
+                              hz_func = fname;
+                              hz_load = (bi, idx);
+                              hz_store_func = w.wfuncs.(sfi).Cfg.fname;
+                              hz_store = (sblk, sidx);
+                              hz_ref = m;
+                              hz_dynamic = is_dynamic m || is_dynamic sw;
+                            }
+                            :: !out))
+              | None -> ())
+            body)
+        bodies)
+    w.wbodies;
+  List.rev !out
+
+let pp_hazard fmt h =
+  let lb, li = h.hz_load in
+  let sb, si = h.hz_store in
+  Format.fprintf fmt
+    "%s: load %a at block %d+%d anti-depends on store at %s block %d+%d \
+     with no boundary between%s"
+    h.hz_func Instr.pp_mref h.hz_ref lb li h.hz_store_func sb si
+    (if h.hz_dynamic then " (dynamically addressed)" else "")
+
+(* --- WARAW-protected intervals -------------------------------------- *)
+
+(* Positions where inserting a boundary would separate a WARAW-exempt
+   store from its protected load: (block, lo, hi) means any insertion at
+   index k with lo <= k <= hi breaks the exemption (region formation
+   then has to cut again before the follow-up store).  Splitting avoids
+   these points when it can. *)
+let waraw_protected_intervals (f : Cfg.func) =
+  List.concat
+    (List.mapi
+       (fun bi (b : Cfg.block) ->
+         let body = Array.of_list b.Cfg.instrs in
+         let acc = ref [] in
+         Array.iteri
+           (fun idx instr ->
+             match Instr.mem_read instr with
+             | Some m -> (
+                 match last_write_before body idx m with
+                 | Write j -> acc := (bi, j + 1, idx) :: !acc
+                 | Clobbered _ | No_write -> ())
+             | None -> ())
+           body;
+         !acc)
+       f.Cfg.blocks)

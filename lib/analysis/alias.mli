@@ -1,7 +1,9 @@
-(** Alias analysis over symbolic memory references.
+(** Alias analysis over symbolic memory references, plus the conservative
+    may-alias WAR/WARAW hazard set region formation consumes.
 
     Every reference names its allocation (space); two references may alias
-    iff they address the same space and their displacements can coincide.
+    iff they address the same space and their displacements can coincide —
+    a register displacement can coincide with anything in the space.
     Distinct spaces are distinct allocations by construction, so the
     analysis is sound and — for builder-written MCU kernels — precise
     enough to expose the WAR/WARAW structure region formation needs. *)
@@ -10,6 +12,10 @@ open Gecko_isa
 
 val may_alias : Instr.mref -> Instr.mref -> bool
 
+val is_dynamic : Instr.mref -> bool
+(** The displacement is a register — the address is only known at run
+    time, so every store through it may alias the whole space. *)
+
 val space_written : Cfg.program -> Instr.space -> bool
 (** Does any store in the program target the space? *)
 
@@ -17,3 +23,63 @@ val location_read_only : Cfg.program -> Instr.mref -> bool
 (** No store in the program can write this location: for a constant
     displacement, no aliasing store exists; for a dynamic displacement the
     whole space must be store-free.  Recovery-block loads require this. *)
+
+(** {1 Last write before a point} *)
+
+type write_before =
+  | Write of int
+      (** Body index of a store that provably writes the referenced
+          location, with no interfering store in between: re-executing
+          the block prefix rewrites the location before it is re-read. *)
+  | Clobbered of int
+      (** Body index of an intervening store that {e may} alias the
+          location but cannot be proven to: the location's content at the
+          query point is unknown.  Callers must treat this exactly like
+          [No_write] — never fall back to an earlier (stale) write. *)
+  | No_write
+      (** A region boundary (or the block start) was reached first: no
+          write before the point can be relied upon across rollback. *)
+
+val last_write_before :
+  ?strict:bool -> Instr.t array -> int -> Instr.mref -> write_before
+(** Scan backward from [idx] in a straight-line body for the most recent
+    store to the referenced location.  [strict] (default) reports
+    [Clobbered] as soon as any may-aliasing store intervenes;
+    [~strict:false] reproduces the seed's optimistic scan that skipped
+    such stores (unsound — kept only as the soundness-overhead
+    measurement baseline, never for compilation). *)
+
+val must_alias_in_block :
+  Instr.t array -> int -> int -> Instr.mref -> Instr.mref -> bool
+(** [must_alias_in_block body j idx w m]: the store reference [w] at [j]
+    provably addresses the same word as [m] at [idx] (equal constant
+    displacements, or the same index register unmodified in between). *)
+
+(** {1 May-alias WAR hazards} *)
+
+type hazard = {
+  hz_func : string;  (** function containing the load *)
+  hz_load : int * int;  (** (block, index) of the load *)
+  hz_store_func : string;  (** function containing the store *)
+  hz_store : int * int;  (** (block, index) of the store *)
+  hz_ref : Instr.mref;  (** the load's reference *)
+  hz_dynamic : bool;  (** either access is dynamically addressed *)
+}
+
+val war_hazards :
+  ?strict:bool -> ?interproc:bool -> Cfg.program -> hazard list
+(** Every load → may-aliasing-store anti-dependence reachable without
+    crossing a region boundary, WARAW-exempt pairs aside.  Re-executing
+    such a region after the store reads the overwritten value — the
+    idempotence violation region formation must cut (or double-buffer).
+    [interproc] (default) follows calls and returns; [strict] (default)
+    uses the clobber-aware WARAW exemption.  The non-default modes
+    reproduce the seed's unsound analysis for overhead measurement. *)
+
+val pp_hazard : Format.formatter -> hazard -> unit
+
+val waraw_protected_intervals : Cfg.func -> (int * int * int) list
+(** [(block, lo, hi)] triples: inserting a boundary at index [k] with
+    [lo <= k <= hi] would separate a WARAW-exempt store from the load it
+    protects, forcing region formation to cut again.  WCET splitting
+    avoids these positions when it can. *)

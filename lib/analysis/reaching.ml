@@ -118,3 +118,8 @@ let unique_at t r p =
   match Iset.elements (ids_at t r p) with
   | [ id ] -> Some (def_of_id t id)
   | _ -> None
+
+let same_unique_def t r pa pb =
+  match (unique_at t r pa, unique_at t r pb) with
+  | Some a, Some b -> def_equal a b
+  | Some _, None | None, Some _ | None, None -> false

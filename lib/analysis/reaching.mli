@@ -27,4 +27,10 @@ val reaching_at : t -> Reg.t -> Fgraph.point -> def list
 val unique_at : t -> Reg.t -> Fgraph.point -> def option
 (** [Some d] iff exactly one definition reaches. *)
 
+val same_unique_def : t -> Reg.t -> Fgraph.point -> Fgraph.point -> bool
+(** Both points see exactly one reaching definition and it is the same
+    one — the register provably holds the same value at both points.
+    This is the value-preservation core of checkpoint pruning and of the
+    may-alias hazard analysis (address-register stability). *)
+
 val def_equal : def -> def -> bool

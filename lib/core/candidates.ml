@@ -13,6 +13,7 @@ type t = {
   funcs : Cfg.func array;
   graphs : A.Fgraph.t array;
   sites : site list;
+  hazards : A.Alias.hazard list;
 }
 
 let compute (p : Cfg.program) =
@@ -42,7 +43,11 @@ let compute (p : Cfg.program) =
             b.Cfg.instrs)
         g.A.Fgraph.blocks)
     graphs;
-  { prog = p; funcs; graphs; sites = List.rev !sites }
+  (* Residual may-alias WAR hazards travel with the candidate set so
+     downstream passes (pruning, verification) can refuse to optimize
+     across a hazard region formation failed to cut.  Empty on any
+     correctly formed program. *)
+  { prog = p; funcs; graphs; sites = List.rev !sites; hazards = A.Alias.war_hazards p }
 
 let site t id =
   match List.find_opt (fun s -> s.s_id = id) t.sites with

@@ -17,6 +17,10 @@ type t = {
   funcs : Cfg.func array;
   graphs : A.Fgraph.t array;
   sites : site list;
+  hazards : A.Alias.hazard list;
+      (** Residual may-alias WAR hazards (empty once region formation has
+          run): pruning keeps every candidate in a function that still
+          carries one, and verification rejects the program. *)
 }
 
 val compute : Cfg.program -> t

@@ -232,21 +232,18 @@ let assign ~next_id ~analyze (p : Cfg.program) =
     (* Decisions are recomputed after every insertion.  A repair boundary
        force-keeps exactly the problematic register (the paper's
        "additional checkpoint that saves the problematic register to a
-       different index"): analyze would otherwise reuse it away and undo
-       the alternation; its other live-ins are treated normally. *)
+       different index"): the forced keeps are passed INTO the analysis —
+       not patched in afterwards — so the reuse pass can neither reuse
+       them away (undoing the alternation) nor route another site's
+       restore at a slot the repair's own store would clobber inside that
+       site's crash window; its other live-ins are treated normally. *)
     let cands = Candidates.compute p in
-    let decisions = analyze p cands in
-    Hashtbl.iter
-      (fun bid regs ->
-        match Hashtbl.find_opt decisions bid with
-        | None -> ()
-        | Some ds ->
-            Hashtbl.replace decisions bid
-              (List.map
-                 (fun (r, d) ->
-                   if Reg.Set.mem r regs then (r, Prune.Keep) else (r, d))
-                 ds))
-      repairs;
+    let force_keep bid =
+      match Hashtbl.find_opt repairs bid with
+      | Some regs -> regs
+      | None -> Reg.Set.empty
+    in
+    let decisions = analyze ~force_keep p cands in
     let vf = Valueflow.make p cands in
     match try_color vf cands decisions with
     | Colored colors -> (cands, decisions, colors)

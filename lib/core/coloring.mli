@@ -33,12 +33,18 @@ val adjacency_for : Candidates.t -> stops:(int -> bool) -> (int * int) list
 
 val assign :
   next_id:int ref ->
-  analyze:(Cfg.program -> Candidates.t -> Prune.result) ->
+  analyze:
+    (force_keep:(int -> Reg.Set.t) ->
+    Cfg.program ->
+    Candidates.t ->
+    Prune.result) ->
   Cfg.program ->
   Candidates.t * Prune.result * t
 (** May insert repair boundaries (mutating the program).  [analyze] is
-    re-run after every insertion so repair boundaries get the same
-    pruning/reuse treatment as the original ones.  Returns the final
+    re-run after every insertion, receiving the repair boundaries'
+    forced-keep sets, so repair stores are first-class during pruning —
+    in particular the reuse pass sees them as unprunable owned stores
+    rather than discovering them after the fact.  Returns the final
     candidates, decisions and colours.  Raises [Failure] if colouring
     does not converge. *)
 

@@ -49,20 +49,21 @@ let pass ?obs ?metrics p name f =
   r
 
 let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
-    ?(prune_reuse = true) ?obs ?metrics scheme prog =
+    ?(prune_reuse = true) ?(sound = true) ?obs ?metrics scheme prog =
   let p = pass ?obs ?metrics prog "copy" (fun () -> Copy.program prog) in
   let pass name f = pass ?obs ?metrics p name f in
+  let legacy = not sound in
   match scheme with
   | Scheme.Nvp -> (p, Meta.empty Scheme.Nvp)
   | Scheme.Ratchet | Scheme.Gecko_noprune | Scheme.Gecko ->
       let next_id = ref 0 in
-      pass "regions" (fun () -> ignore (Regions.form ~next_id p));
+      pass "regions" (fun () -> ignore (Regions.form ~legacy ~next_id p));
       let overhead = ckpt_overhead_estimate scheme in
       pass "split" (fun () ->
           ignore
             (Split.by_wcet ~next_id ~budget:budget_cycles
                ~ckpt_overhead:overhead p));
-      pass "regions2" (fun () -> ignore (Regions.form ~next_id p));
+      pass "regions2" (fun () -> ignore (Regions.form ~legacy ~next_id p));
       let meta =
         match scheme with
         | Scheme.Ratchet -> pass "emit" (fun () -> Emit.ratchet p)
@@ -70,9 +71,13 @@ let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
             let analyze =
               match scheme with
               | Scheme.Gecko ->
-                  Prune.analyze_with ~slices:prune_slices ~reuse:prune_reuse
+                  fun ~force_keep p cands ->
+                    Prune.analyze_with ~force_keep ~sound
+                      ~slices:prune_slices ~reuse:prune_reuse p cands
               | Scheme.Gecko_noprune | Scheme.Ratchet | Scheme.Nvp ->
-                  fun _p cands -> Prune.keep_all cands
+                  fun ~force_keep _p cands ->
+                    ignore force_keep;
+                    Prune.keep_all cands
             in
             let cands, decisions, colors =
               pass "coloring" (fun () -> Coloring.assign ~next_id ~analyze p)
@@ -81,11 +86,17 @@ let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
         | Scheme.Nvp -> assert false
       in
       pass "verify" (fun () ->
-          fail_on_errors "idempotence" (Verify.idempotence p);
+          fail_on_errors "idempotence" (Verify.idempotence ~legacy p);
           (match scheme with
           | Scheme.Gecko | Scheme.Gecko_noprune ->
-              fail_on_errors "coloring" (Verify.coloring p meta)
+              fail_on_errors "coloring" (Verify.coloring p meta);
+              if sound then
+                fail_on_errors "slots" (Verify.slots p meta)
           | Scheme.Ratchet | Scheme.Nvp -> ());
+          (match scheme with
+          | Scheme.Ratchet | Scheme.Gecko | Scheme.Gecko_noprune ->
+              if sound then fail_on_errors "io_commit" (Verify.io_commit p)
+          | Scheme.Nvp -> ());
           fail_on_errors "wcet" (Verify.wcet ~budget:budget_cycles p));
       (p, meta)
 

@@ -25,6 +25,7 @@ val compile :
   ?budget_cycles:int ->
   ?prune_slices:bool ->
   ?prune_reuse:bool ->
+  ?sound:bool ->
   ?obs:Gecko_obs.Trace.t ->
   ?metrics:Gecko_obs.Metrics.registry ->
   Scheme.t ->
@@ -34,6 +35,14 @@ val compile :
     disable the two checkpoint-pruning mechanisms of the [Gecko] scheme —
     the ablation study.  Raises [Failure] if a verification pass fails —
     a compiler bug, not a user error.
+
+    [sound] (default [true]) selects the may-alias-sound pipeline:
+    interprocedural WAR hazard detection in region formation, the
+    hazard-aware pruning discipline, and the independent [Verify.slots] /
+    [Verify.io_commit] gates.  [sound:false] reproduces the seed's
+    optimistic compiler and exists solely as the baseline for
+    soundness-overhead measurement (it can emit programs whose rollback
+    is unsound under dynamic addressing).
 
     [obs] turns on the compiler profiler: every pass is recorded as a
     host-clock span (category ["compiler"]) with an [ir_instrs] counter

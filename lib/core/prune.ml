@@ -84,12 +84,7 @@ let no_def_between ctx q p =
     ctx.defsites.(Reg.to_int q)
 
 let value_preserved ctx q p =
-  (match
-     ( A.Reaching.unique_at ctx.reaching q p,
-       A.Reaching.unique_at ctx.reaching q ctx.pb )
-   with
-  | Some d1, Some d2 -> A.Reaching.def_equal d1 d2
-  | _ -> false)
+  A.Reaching.same_unique_def ctx.reaching q p ctx.pb
   || no_def_between ctx q p
 
 let rec slice_def ctx depth q (d : A.Reaching.def) =
@@ -186,8 +181,25 @@ let try_slice prog g dom reaching defsites pb live pruned pinned r =
         Some (List.rev ctx.emitted)
       with Unsliceable -> None)
 
-let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
+let analyze_with ?(force_keep = fun _ -> Reg.Set.empty) ?(sound = true)
+    ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
   let result : result = Hashtbl.create 32 in
+  (* Never prune across an unresolved dynamic hazard: if region formation
+     left a may-alias WAR in some function (possible only when a caller
+     bypasses {!Regions.form}), every candidate in the functions involved
+     is kept verbatim — re-execution there is not idempotent, so neither
+     slices (whose loads could observe clobbered locations) nor reuse can
+     be justified. *)
+  let hazardous = Hashtbl.create 4 in
+  if sound then
+    List.iter
+      (fun (h : A.Alias.hazard) ->
+        Hashtbl.replace hazardous h.A.Alias.hz_func ();
+        Hashtbl.replace hazardous h.A.Alias.hz_store_func ())
+      cands.Candidates.hazards;
+  let site_hazardous (s : Candidates.site) =
+    Hashtbl.mem hazardous cands.Candidates.funcs.(s.Candidates.s_func).Cfg.fname
+  in
   (* Per-function analyses, shared across the function's boundaries.  Call
      sites act as definition points for the callee's clobber set, so no
      value is assumed preserved across a call that may overwrite it. *)
@@ -227,10 +239,14 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
       let g, dom, reaching, defsites = per_func.(s.Candidates.s_func) in
       let pruned = Hashtbl.create 8 in
       let pinned = Hashtbl.create 8 in
+      let forced = force_keep s.Candidates.s_id in
       let decisions =
         List.map
           (fun r ->
-            if (not slices) || Hashtbl.mem pinned (Reg.to_int r) then (r, Keep)
+            if
+              (not slices) || site_hazardous s || Reg.Set.mem r forced
+              || Hashtbl.mem pinned (Reg.to_int r)
+            then (r, Keep)
             else
               match
                 try_slice p g dom reaching defsites s.Candidates.s_point
@@ -333,6 +349,33 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
       sites_of_func.(s.Candidates.s_func) <-
         s :: sites_of_func.(s.Candidates.s_func))
     cands.Candidates.sites;
+  (* Sound reuse needs interprocedural window reasoning: a reusing
+     restore at [s] reads the owner's slot colour, so no other owned
+     store of the register may execute between the owner [o] and [s] on
+     any runtime path — otherwise the slot a crash-time restore reads
+     can hold a stale (or, with a repair boundary's forced store inside
+     [s]'s own crash window, a future) crossing's value.
+     [Spans.from_site] walks exactly those paths.  Reuse roots are
+     pinned: once some site references [o]'s slot for [r], [o] must
+     remain an owned store of [r] in every later round. *)
+  let spans = lazy (Spans.make cands) in
+  let is_owner bid r =
+    match decision_for bid r with
+    | Some Keep | Some (Keep_stable _) -> true
+    | Some (Reuse _) | Some (Prune _) | None -> false
+  in
+  let no_owned_store_between (o : Candidates.site) (s : Candidates.site) r =
+    let ok = ref true in
+    Spans.from_site (Lazy.force spans) o ~on_boundary:(fun id ->
+        if id = s.Candidates.s_id then true
+        else if is_owner id r then begin
+          ok := false;
+          true
+        end
+        else false);
+    !ok
+  in
+  let root_pinned : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
   let changed = ref reuse in
   let rounds = ref 0 in
   while !changed && !rounds < 8 do
@@ -345,17 +388,30 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
           (fun (s : Candidates.site) ->
             List.iter
               (fun r ->
+                let blocked =
+                  (* A repair (force_keep) is absolute in both modes:
+                     colouring requested this store, so reuse must never
+                     take it back. *)
+                  Reg.Set.mem r (force_keep s.Candidates.s_id)
+                  || sound
+                     && (site_hazardous s
+                        || Hashtbl.mem root_pinned
+                             (s.Candidates.s_id, Reg.to_int r))
+                in
                 match decision_for s.Candidates.s_id r with
-                | Some Keep ->
+                | Some Keep when not blocked ->
                     (* Nearest dominating site with r live and a usable
-                       restore. *)
+                       restore; sound mode only considers direct owners
+                       (Keep / Keep_stable), so the referenced slot is
+                       written by the target itself. *)
                     let doms =
                       List.filter
                         (fun (o : Candidates.site) ->
                           o.Candidates.s_id <> s.Candidates.s_id
                           && Reg.Set.mem r o.Candidates.s_live
                           && A.Dom.dominates_point dom o.Candidates.s_point
-                               s.Candidates.s_point)
+                               s.Candidates.s_point
+                          && ((not sound) || is_owner o.Candidates.s_id r))
                         sites
                     in
                     (* Nearest = dominated by all the others. *)
@@ -379,18 +435,23 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
                           match decision_for o.Candidates.s_id r with
                           | Some Keep | Some (Keep_stable _) ->
                               Some o.Candidates.s_id
-                          | Some (Reuse t) -> Some t
+                          | Some (Reuse t) -> if sound then None else Some t
                           | Some (Prune _) | None -> None
                         in
                         match target with
                         | Some t
                           when no_defs_between fi defsites r
-                                 o.Candidates.s_point s.Candidates.s_point ->
+                                 o.Candidates.s_point s.Candidates.s_point
+                               && ((not sound)
+                                  || no_owned_store_between o s r) ->
                             set_decision s.Candidates.s_id r (Reuse t);
+                            if sound then
+                              Hashtbl.replace root_pinned (t, Reg.to_int r)
+                                ();
                             changed := true
                         | Some _ | None -> ()))
-                | Some (Keep_stable _) | Some (Reuse _) | Some (Prune _)
-                | None ->
+                | Some Keep | Some (Keep_stable _) | Some (Reuse _)
+                | Some (Prune _) | None ->
                     ())
               (Reg.Set.elements s.Candidates.s_live))
           sites)
@@ -430,7 +491,10 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
             List.iter
               (fun r ->
                 match decision_for s.Candidates.s_id r with
-                | Some Keep ->
+                (* Forced keeps (repair boundaries) stay plain [Keep]:
+                   their whole point is a fresh store whose colour
+                   alternation the colouring pass relies on. *)
+                | Some Keep when not (Reg.Set.mem r (force_keep s.Candidates.s_id)) ->
                     let sp = s.Candidates.s_point in
                     let stable =
                       List.for_all
@@ -451,8 +515,8 @@ let analyze_with ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
                       set_decision s.Candidates.s_id r
                         (Keep_stable
                            ((Reg.to_int r * 1_000_000) + s.Candidates.s_id))
-                | Some (Keep_stable _) | Some (Reuse _) | Some (Prune _)
-                | None ->
+                | Some Keep | Some (Keep_stable _) | Some (Reuse _)
+                | Some (Prune _) | None ->
                     ())
               (Reg.Set.elements s.Candidates.s_live))
           sites_of_func.(fi))

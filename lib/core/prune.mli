@@ -44,12 +44,40 @@ type result = (int, (Reg.t * decision) list) Hashtbl.t
 
 val max_slice_nodes : int
 
-val analyze : Cfg.program -> Candidates.t -> result
+val analyze :
+  ?force_keep:(int -> Reg.Set.t) ->
+  ?sound:bool ->
+  Cfg.program ->
+  Candidates.t ->
+  result
 
 val analyze_with :
-  slices:bool -> reuse:bool -> Cfg.program -> Candidates.t -> result
+  ?force_keep:(int -> Reg.Set.t) ->
+  ?sound:bool ->
+  slices:bool ->
+  reuse:bool ->
+  Cfg.program ->
+  Candidates.t ->
+  result
 (** Ablation entry point: disable the recovery-block slicing and/or the
-    redundant-checkpoint reuse independently ([analyze] enables both). *)
+    redundant-checkpoint reuse independently ([analyze] enables both).
+
+    [force_keep] (default: none) maps a boundary id to registers that
+    must stay plain [Keep] — the colouring pass passes its repair
+    boundaries here so their fresh stores are known {e during} analysis
+    and can never be targeted or converted by the reuse pass.
+
+    [sound] (default [true]) controls the may-alias WAR discipline:
+
+    - candidates in functions with residual dynamic hazards are all kept;
+    - reuse targets are restricted to direct owned stores with no other
+      owned store of the register on any interprocedural path between
+      owner and reuser (so the slot colour read at a crash cannot have
+      been overwritten inside the crash window);
+    - reuse roots are pinned so they remain owners in later rounds.
+
+    [sound:false] reproduces the seed's optimistic analysis and exists
+    only as the baseline for soundness-overhead measurement. *)
 
 val keep_all : Candidates.t -> result
 (** The no-pruning configuration: every candidate kept. *)

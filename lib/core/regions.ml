@@ -73,103 +73,15 @@ let structural_pass next_id (p : Cfg.program) =
     p.Cfg.funcs;
   !inserted
 
-(* Is the load at [idx] in [body] WARAW-exempt: a store to provably the
-   same location earlier in the same block with no boundary in between, so
-   re-execution rewrites the location before re-reading it?  The store
-   must MUST-alias the load — a may-aliasing store (dynamic index) might
-   rewrite a different word and leave the re-read exposed. *)
-let waraw_exempt body idx m =
-  let must_alias j (w : Instr.mref) =
-    w.Instr.space.Instr.space_id = m.Instr.space.Instr.space_id
-    &&
-    match (w.Instr.disp, m.Instr.disp) with
-    | Instr.Dconst a, Instr.Dconst b -> a = b
-    | Instr.Dreg a, Instr.Dreg b ->
-        Reg.equal a b
-        && (* The index register must be unchanged between the store and
-              the load. *)
-        (let unchanged = ref true in
-         for k = j + 1 to idx - 1 do
-           if Reg.Set.mem a (Instr.defs body.(k)) then unchanged := false
-         done;
-         !unchanged)
-    | Instr.Dconst _, Instr.Dreg _ | Instr.Dreg _, Instr.Dconst _ -> false
-  in
-  let exempt = ref false in
-  (try
-     for j = idx - 1 downto 0 do
-       match body.(j) with
-       | i when is_boundary i -> raise Exit
-       | Instr.St (w, _) when must_alias j w -> begin
-           exempt := true;
-           raise Exit
-         end
-       | _ -> ()
-     done
-   with Exit -> ());
-  !exempt
+(* Anti-dependence cuts: the may-alias WAR/WARAW hazard set lives in the
+   analysis layer ({!A.Alias.war_hazards}); region formation resolves each
+   hazard by inserting a boundary immediately before the offending store,
+   so a rollback can never land between the load and the store.  [legacy]
+   reproduces the seed's analysis (intraprocedural, optimistic WARAW scan)
+   — only the soundness-overhead measurement baseline compiles with it. *)
 
-(* Find an aliasing store reachable from (blk, start_idx) without crossing a
-   boundary.  Returns its (block, index). *)
-let find_war_store (g : A.Fgraph.t) bodies blk start_idx m =
-  let visited = Array.make (A.Fgraph.n_blocks g) false in
-  let exception Found of int * int in
-  let rec scan_block bi from =
-    let body = bodies.(bi) in
-    let stop = ref false in
-    let i = ref from in
-    while (not !stop) && !i < Array.length body do
-      (match body.(!i) with
-      | instr when is_boundary instr -> stop := true
-      | Instr.St (w, _) when A.Alias.may_alias w m -> raise (Found (bi, !i))
-      | _ -> ());
-      incr i
-    done;
-    if not !stop then
-      match g.A.Fgraph.blocks.(bi).Cfg.term with
-      | Instr.Call _ | Instr.Ret | Instr.Halt -> ()
-      | Instr.Jmp _ | Instr.Br _ ->
-          List.iter
-            (fun s ->
-              if not visited.(s) then begin
-                visited.(s) <- true;
-                scan_block s 0
-              end)
-            g.A.Fgraph.succ.(bi)
-  in
-  try
-    scan_block blk start_idx;
-    None
-  with Found (b, i) -> Some (b, i)
-
-let find_violation (p : Cfg.program) =
-  let result = ref None in
-  (try
-     List.iter
-       (fun (f : Cfg.func) ->
-         let g = A.Fgraph.of_func f in
-         let bodies =
-           Array.map
-             (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs)
-             g.A.Fgraph.blocks
-         in
-         Array.iteri
-           (fun bi body ->
-             Array.iteri
-               (fun idx instr ->
-                 match Instr.mem_read instr with
-                 | Some m when not (waraw_exempt body idx m) -> (
-                     match find_war_store g bodies bi (idx + 1) m with
-                     | Some (sb, si) ->
-                         result := Some (f, g, bi, idx, sb, si, m);
-                         raise Exit
-                     | None -> ())
-                 | Some _ | None -> ())
-               body)
-           bodies)
-       p.Cfg.funcs
-   with Exit -> ());
-  !result
+let hazards ?(legacy = false) (p : Cfg.program) =
+  A.Alias.war_hazards ~strict:(not legacy) ~interproc:(not legacy) p
 
 let insert_in_block (b : Cfg.block) idx instr =
   let rec go i = function
@@ -179,50 +91,23 @@ let insert_in_block (b : Cfg.block) idx instr =
   in
   b.Cfg.instrs <- go 0 b.Cfg.instrs
 
-let rec war_fixpoint next_id (p : Cfg.program) acc =
-  match find_violation p with
-  | None -> acc
-  | Some (f, g, _, _, sb, si, _) ->
-      let blk = g.A.Fgraph.blocks.(sb) in
-      ignore f;
-      insert_in_block blk si (fresh next_id);
-      war_fixpoint next_id p (acc + 1)
+let func_by_name (p : Cfg.program) name =
+  List.find (fun (f : Cfg.func) -> f.Cfg.fname = name) p.Cfg.funcs
 
-let form ~next_id p =
+let rec war_fixpoint ~legacy next_id (p : Cfg.program) acc =
+  match hazards ~legacy p with
+  | [] -> acc
+  | hz :: _ ->
+      let f = func_by_name p hz.A.Alias.hz_store_func in
+      let sblk, sidx = hz.A.Alias.hz_store in
+      let blk = List.nth f.Cfg.blocks sblk in
+      insert_in_block blk sidx (fresh next_id);
+      war_fixpoint ~legacy next_id p (acc + 1)
+
+let form ?(legacy = false) ~next_id p =
   let a = structural_pass next_id p in
-  let b = war_fixpoint next_id p 0 in
+  let b = war_fixpoint ~legacy next_id p 0 in
   a + b
 
-let violations (p : Cfg.program) =
-  (* Report-only variant: collect every violating pair. *)
-  let out = ref [] in
-  List.iter
-    (fun (f : Cfg.func) ->
-      let g = A.Fgraph.of_func f in
-      let bodies =
-        Array.map
-          (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs)
-          g.A.Fgraph.blocks
-      in
-      Array.iteri
-        (fun bi body ->
-          Array.iteri
-            (fun idx instr ->
-              match Instr.mem_read instr with
-              | Some m when not (waraw_exempt body idx m) -> (
-                  match find_war_store g bodies bi (idx + 1) m with
-                  | Some (sb, si) ->
-                      out :=
-                        Format.asprintf
-                          "%s: load %a at %s+%d anti-depends on store at %s+%d \
-                           with no boundary between"
-                          f.Cfg.fname Instr.pp_mref m
-                          g.A.Fgraph.blocks.(bi).Cfg.label idx
-                          g.A.Fgraph.blocks.(sb).Cfg.label si
-                        :: !out
-                  | None -> ())
-              | Some _ | None -> ())
-            body)
-        bodies)
-    p.Cfg.funcs;
-  List.rev !out
+let violations ?(legacy = false) (p : Cfg.program) =
+  List.map (Format.asprintf "%a" A.Alias.pp_hazard) (hazards ~legacy p)

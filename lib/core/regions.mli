@@ -9,18 +9,29 @@
       (I/O must not silently replay across a whole region);
     - a boundary at the start of every call-return block (callee entries
       are covered by the function-entry rule);
-    - anti-dependence cuts: for every may-aliasing load→store pair
-      reachable without crossing a boundary, a boundary is inserted before
-      the store — unless the pair is WARAW-exempt (a store to the same
-      location precedes the load in the same block with no boundary in
-      between, so re-execution rewrites before re-reading).
+    - anti-dependence cuts: for every hazard in the may-alias WAR set
+      ({!Gecko_analysis.Alias.war_hazards} — dynamic register-addressed
+      references included, followed across calls and returns), a boundary
+      is inserted before the store — unless the pair is WARAW-exempt (a
+      store provably to the same location precedes the load in the same
+      block with no boundary and no may-aliasing store in between, so
+      re-execution rewrites before re-reading).
 
     The pass runs to a fixpoint and is idempotent: re-running it on an
     already-formed program inserts nothing. *)
 
-val form : next_id:int ref -> Gecko_isa.Cfg.program -> int
-(** Returns the number of boundaries inserted. *)
+open Gecko_isa
+module A = Gecko_analysis
 
-val violations : Gecko_isa.Cfg.program -> string list
-(** Human-readable list of remaining WAR violations (empty on a correctly
-    formed program) — the final verification pass. *)
+val form : ?legacy:bool -> next_id:int ref -> Cfg.program -> int
+(** Returns the number of boundaries inserted.  [legacy] selects the
+    seed's unsound hazard analysis (intraprocedural, optimistic WARAW
+    scan) — only the soundness-overhead measurement baseline uses it. *)
+
+val hazards : ?legacy:bool -> Cfg.program -> A.Alias.hazard list
+(** Residual may-alias WAR hazards (empty on a correctly formed
+    program). *)
+
+val violations : ?legacy:bool -> Cfg.program -> string list
+(** Human-readable rendering of {!hazards} — the final verification
+    pass. *)

@@ -81,6 +81,48 @@ let from_site w (s : Candidates.site) ~on_boundary =
   walk w ~on_boundary s.Candidates.s_func s.Candidates.s_point.A.Fgraph.blk
     (s.Candidates.s_point.A.Fgraph.idx + 1)
 
+(* Visit every instruction position reachable from just after [s] before
+   crossing any boundary — the site's crash window: a failure anywhere in
+   it rolls back to [s], so anything executed here (in particular [Ckpt]
+   slot stores of the next boundary) can have happened before the restore
+   at [s] re-runs. *)
+let iter_window w (s : Candidates.site) ~f =
+  let visited = Hashtbl.create 16 in
+  let rec scan fi blk idx =
+    let body = w.bodies.(fi).(blk) in
+    let n = Array.length body in
+    let stop = ref false in
+    let i = ref idx in
+    while (not !stop) && !i < n do
+      (match body.(!i) with
+      | Instr.Boundary _ -> stop := true
+      | instr -> f fi blk !i instr);
+      incr i
+    done;
+    if not !stop then
+      let g = w.cands.Candidates.graphs.(fi) in
+      match g.A.Fgraph.blocks.(blk).Cfg.term with
+      | Instr.Halt -> ()
+      | Instr.Jmp _ | Instr.Br _ ->
+          List.iter (fun b -> enter fi b) g.A.Fgraph.succ.(blk)
+      | Instr.Call (callee, _) -> (
+          match Hashtbl.find_opt w.func_index callee with
+          | Some cf -> enter cf 0
+          | None -> ())
+      | Instr.Ret ->
+          let fname = w.cands.Candidates.funcs.(fi).Cfg.fname in
+          List.iter
+            (fun (caller, ret_blk) -> enter caller ret_blk)
+            (try Hashtbl.find w.ret_points fname with Not_found -> [])
+  and enter fi blk =
+    if not (Hashtbl.mem visited (fi, blk)) then begin
+      Hashtbl.replace visited (fi, blk) ();
+      scan fi blk 0
+    end
+  in
+  scan s.Candidates.s_func s.Candidates.s_point.A.Fgraph.blk
+    (s.Candidates.s_point.A.Fgraph.idx + 1)
+
 let edges w ~stops =
   let acc = Hashtbl.create 64 in
   List.iter

@@ -10,6 +10,16 @@ type t
 
 val make : Candidates.t -> t
 
+val from_site : t -> Candidates.site -> on_boundary:(int -> bool) -> unit
+(** Walk all paths from just after the site, reporting every boundary id
+    encountered to [on_boundary]; a [true] return stops that path. *)
+
+val iter_window : t -> Candidates.site -> f:(int -> int -> int -> Gecko_isa.Instr.t -> unit) -> unit
+(** Visit every instruction position [(func, blk, idx, instr)] reachable
+    from just after the site before crossing any boundary — the site's
+    crash window.  Slot stores ([Ckpt]) of the next boundary execute
+    inside this window, before its commit. *)
+
 val edges : t -> stops:(int -> bool) -> (int * int) list
 (** Directed pairs [(a, b)]: from just after boundary [a], boundary [b]
     is the first boundary satisfying [stops] on some path.  Only

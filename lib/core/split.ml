@@ -16,11 +16,15 @@ let insert_in_block (b : Cfg.block) idx instr =
 
 (* Walk the worst-case path from [start] accumulating cost; insert a
    boundary at the first point where the accumulated cost reaches
-   [target].  Returns true if an insertion happened. *)
-let cut_along_worst g wcet start target =
-  let rec walk (p : A.Fgraph.point) acc =
+   [target].  Points inside a WARAW-protected interval ([avoid]) are
+   skipped when possible — a boundary between an exempting store and its
+   load would break the exemption and force region formation to cut
+   again before the follow-up store; the first avoided point is kept as
+   a fallback so an oversized span is always split. *)
+let cut_along_worst g wcet start target ~avoid =
+  let rec walk (p : A.Fgraph.point) acc fallback =
     match A.Wcet.worst_successor wcet p with
-    | None -> None
+    | None -> fallback
     | Some next ->
         let cost =
           match A.Fgraph.instr_at g p with
@@ -30,9 +34,13 @@ let cut_along_worst g wcet start target =
               | t -> Cost.term_cycles t)
         in
         let acc = acc + cost in
-        if acc >= target then Some next else walk next acc
+        if acc >= target then
+          if not (avoid next) then Some next
+          else
+            walk next acc (if fallback = None then Some next else fallback)
+        else walk next acc fallback
   in
-  walk start 0
+  walk start 0 None
 
 let by_wcet ~next_id ~budget ~ckpt_overhead (p : Cfg.program) =
   let inserted = ref 0 in
@@ -47,6 +55,15 @@ let by_wcet ~next_id ~budget ~ckpt_overhead (p : Cfg.program) =
       (fun (f : Cfg.func) ->
         let g = A.Fgraph.of_func f in
         let wcet = A.Wcet.compute g in
+        (* Recomputed every round: insertions shift block indices. *)
+        let protected_ = A.Alias.waraw_protected_intervals f in
+        let avoid (pt : A.Fgraph.point) =
+          List.exists
+            (fun (bi, lo, hi) ->
+              pt.A.Fgraph.blk = bi && pt.A.Fgraph.idx >= lo
+              && pt.A.Fgraph.idx <= hi)
+            protected_
+        in
         let spans = A.Wcet.boundary_spans wcet in
         let oversize =
           List.find_opt (fun (_, _, span) -> span + ckpt_overhead > budget) spans
@@ -65,7 +82,7 @@ let by_wcet ~next_id ~budget ~ckpt_overhead (p : Cfg.program) =
             in
             let target = min (eff_budget / 2) (span / 2) in
             let target = max target 1 in
-            (match cut_along_worst g wcet start target with
+            (match cut_along_worst g wcet start target ~avoid with
             | Some cut_point ->
                 insert_in_block
                   g.A.Fgraph.blocks.(cut_point.A.Fgraph.blk)

@@ -7,6 +7,12 @@
     boundary roughly halfway along the worst-case path.  It loops back to
     the WCET analysis until all regions fit.
 
+    Cut points are hazard-aware: a position between a WARAW-exempting
+    store and the load it protects is avoided when possible (a boundary
+    there would break the exemption and force region formation to cut
+    again), falling back to the avoided position only when no other cut
+    can split the span.
+
     Raises [Invalid_argument] if the budget is too small to make progress
     (a single instruction plus checkpoint overhead exceeds it). *)
 

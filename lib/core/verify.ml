@@ -1,7 +1,8 @@
 open Gecko_isa
+module A = Gecko_analysis
 
-let idempotence p =
-  match Regions.violations p with [] -> Ok () | errs -> Error errs
+let idempotence ?(legacy = false) p =
+  match Regions.violations ~legacy p with [] -> Ok () | errs -> Error errs
 
 let coloring p (meta : Meta.t) =
   let cands = Candidates.compute p in
@@ -51,6 +52,154 @@ let coloring p (meta : Meta.t) =
           | _ -> ())
         edges)
     Reg.all;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+(* Independent window-clobber gate.  For every boundary [s], every slot
+   its committed recovery state READS — restores (owned or reused) and
+   recovery-block [LdSlot]s — must survive [s]'s crash window: the set of
+   instructions executable after [s] commits and before the next boundary
+   commits.  Any [Ckpt] in that window targeting a read (register,
+   colour) pair clobbers the slot a crash-time rollback to [s] would
+   load, unless the overwrite provably stores the identical word (same
+   stability class, or value-equality from [s] to the writer's owning
+   boundary).  This re-derives the protection property directly from the
+   emitted instruction stream, independent of how pruning/colouring
+   reasoned — it is the gate that catches a reused restore routed at a
+   slot some later (e.g. repair) boundary overwrites. *)
+let slots p (meta : Meta.t) =
+  let cands = Candidates.compute p in
+  let w = Spans.make cands in
+  let vf = Valueflow.make p cands in
+  let site_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Candidates.site) ->
+      Hashtbl.replace site_tbl s.Candidates.s_id s)
+    cands.Candidates.sites;
+  let stable_at bid r =
+    match Meta.boundary_info meta bid with
+    | None -> None
+    | Some info ->
+        Option.join
+          (List.find_map
+             (fun (x : Meta.restore) ->
+               if Reg.equal x.Meta.r_reg r then Some x.Meta.r_stable
+               else None)
+             info.Meta.restores)
+  in
+  (* Slot reads of the recovery state committed at a boundary:
+     (register, colour, stability class of the value read). *)
+  let reads_of (info : Meta.binfo) =
+    let base =
+      List.map
+        (fun (x : Meta.restore) ->
+          (x.Meta.r_reg, x.Meta.r_color, x.Meta.r_stable))
+        info.Meta.restores
+    in
+    let slice_reads =
+      List.concat_map
+        (fun (g : Meta.recovery) ->
+          List.filter_map
+            (function
+              | Instr.LdSlot (q, _, c) ->
+                  Some (q, c, stable_at info.Meta.b_id q)
+              | _ -> None)
+            g.Meta.g_slice)
+        info.Meta.recoveries
+    in
+    base @ slice_reads
+  in
+  let owner_boundary fi blk idx =
+    let b = cands.Candidates.graphs.(fi).A.Fgraph.blocks.(blk) in
+    let rec go i = function
+      | [] -> None
+      | Instr.Boundary id :: _ when i > idx -> Some id
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 b.Cfg.instrs
+  in
+  let errs = ref [] in
+  List.iter
+    (fun (s : Candidates.site) ->
+      match Meta.boundary_info meta s.Candidates.s_id with
+      | None -> ()
+      | Some info ->
+          let reads = reads_of info in
+          if reads <> [] then
+            Spans.iter_window w s ~f:(fun fi blk idx instr ->
+                match instr with
+                | Instr.Ckpt (wr, wc) -> (
+                    List.iter
+                      (fun (r, c, stable_r) ->
+                        if Reg.equal wr r && wc = c then
+                          match owner_boundary fi blk idx with
+                          | None ->
+                              errs :=
+                                Printf.sprintf
+                                  "checkpoint store of %s (colour %d) in \
+                                   %s has no owning boundary"
+                                  (Reg.to_string wr) wc
+                                  cands.Candidates.funcs.(fi).Cfg.fname
+                                :: !errs
+                          | Some n ->
+                              let exempt =
+                                (match (stable_r, stable_at n r) with
+                                | Some a, Some b -> a = b
+                                | _ -> false)
+                                ||
+                                match Hashtbl.find_opt site_tbl n with
+                                | Some sn ->
+                                    Valueflow.same_value_over_edge vf r
+                                      ~src:s ~dst:sn
+                                | None -> false
+                              in
+                              if not exempt then
+                                errs :=
+                                  Printf.sprintf
+                                    "restore of %s at boundary %d reads \
+                                     slot colour %d, overwritten inside \
+                                     its crash window by boundary %d's \
+                                     store"
+                                    (Reg.to_string r) s.Candidates.s_id c n
+                                  :: !errs)
+                      reads)
+                | _ -> ()))
+    cands.Candidates.sites;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+(* Atomic io_log commit: the runtime stages [Out] records per region and
+   persists them only at the region commit point, so every [Out] must be
+   followed (within its block, with only checkpoint stores in between) by
+   the boundary that commits it.  An [Out] whose commit point is in some
+   later block would leave its record staged across a control transfer —
+   structurally legal for the interpreter, but outside the staged-commit
+   protocol this gate certifies. *)
+let io_commit (p : Cfg.program) =
+  let errs = ref [] in
+  List.iter
+    (fun (f : Cfg.func) ->
+      List.iter
+        (fun (b : Cfg.block) ->
+          let rec committed = function
+            | Instr.Ckpt _ :: rest | Instr.CkptDyn _ :: rest -> committed rest
+            | Instr.Boundary _ :: _ -> true
+            | _ -> false
+          in
+          let rec scan = function
+            | [] -> ()
+            | Instr.Out _ :: rest ->
+                if not (committed rest) then
+                  errs :=
+                    Printf.sprintf
+                      "torn io_log commit: Out in %s/%s is not followed by \
+                       its committing boundary"
+                      f.Cfg.fname b.Cfg.label
+                    :: !errs;
+                scan rest
+            | _ :: rest -> scan rest
+          in
+          scan b.Cfg.instrs)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
   match !errs with [] -> Ok () | e -> Error (List.rev e)
 
 let wcet ~budget p =

@@ -1,15 +1,36 @@
 (** Final verification passes run after compilation (and used heavily by
-    the property-based tests). *)
+    the property-based tests).
+
+    These are independent soundness gates: they re-derive their property
+    from the emitted program (and its metadata) rather than trusting the
+    passes that were supposed to establish it. *)
 
 open Gecko_isa
 
-val idempotence : Cfg.program -> (unit, string list) result
-(** No memory anti-dependence survives without a boundary between the
-    load and the store (WARAW-exempt pairs aside). *)
+val idempotence : ?legacy:bool -> Cfg.program -> (unit, string list) result
+(** No may-alias memory anti-dependence survives without a boundary
+    between the load and the store (WARAW-exempt pairs aside).  The
+    default is the sound interprocedural may-alias analysis;
+    [legacy:true] checks only the seed's optimistic criterion and exists
+    for soundness-overhead measurement. *)
 
 val coloring : Cfg.program -> Meta.t -> (unit, string list) result
 (** No two span-adjacent boundaries checkpoint the same register into the
     same slot colour. *)
+
+val slots : Cfg.program -> Meta.t -> (unit, string list) result
+(** Window-clobber gate: no slot read by a boundary's committed recovery
+    state (restores — owned or reused — and recovery-block slot loads) is
+    overwritten by a checkpoint store inside that boundary's crash
+    window, unless the overwrite provably stores the identical word.
+    Derived directly from the emitted instruction stream; in particular
+    it rejects a reused restore whose owner's slot a later (e.g. repair)
+    boundary clobbers. *)
+
+val io_commit : Cfg.program -> (unit, string list) result
+(** Atomic io_log commit: every [Out] is followed in its block (modulo
+    checkpoint stores) by the boundary that atomically commits its
+    staged io_log record. *)
 
 val wcet : budget:int -> Cfg.program -> (unit, string list) result
 (** Every region span (with its emitted checkpoint stores) fits the

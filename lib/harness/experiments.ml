@@ -918,6 +918,77 @@ let budget_sweep _fidelity =
     [ 80; 120; 250; 500; 2000 ];
   { text = U.Table.render t; metrics = List.rev !ms }
 
+(* Soundness overhead: the may-alias-sound pipeline (hazard-aware region
+   formation, pinned reuse, slot/io-commit gates) keeps more checkpoints
+   and cuts more regions than the seed's optimistic compiler.  Measure
+   what that costs, per workload, under no-attack constant power. *)
+let soundness_overhead _fidelity =
+  let board = Board.default () in
+  let t =
+    U.Table.create
+      ~title:
+        "Soundness overhead — GECKO overhead vs NVP, sound pipeline vs the \
+         seed's optimistic (unsound) baseline (no power outage)"
+      ~header:
+        [ "workload"; "sound"; "optimistic"; "soundness overhead" ]
+      ()
+  in
+  let rows =
+    Workbench.pmap
+      (fun wname ->
+        let w = W.find wname in
+        let nvp_image, nvp_meta =
+          Workbench.compiled Core.Scheme.Nvp (w.W.build ())
+        in
+        let nvp_o = M.run ~board ~image:nvp_image ~meta:nvp_meta M.default_options in
+        let nvp =
+          float_of_int (nvp_o.M.app_cycles + nvp_o.M.instrumentation_cycles)
+        in
+        let overhead_pct ~sound =
+          let p, meta =
+            Core.Pipeline.compile ~sound Core.Scheme.Gecko (w.W.build ())
+          in
+          let o =
+            M.run ~board ~image:(Gecko_isa.Link.link p) ~meta M.default_options
+          in
+          100.
+          *. ((float_of_int (o.M.app_cycles + o.M.instrumentation_cycles)
+               /. nvp)
+             -. 1.)
+        in
+        (wname, overhead_pct ~sound:true, overhead_pct ~sound:false))
+      W.names
+  in
+  let ms = ref [] in
+  List.iter
+    (fun (wname, sound, legacy) ->
+      ms := (wname ^ ".soundness_overhead_pct", sound -. legacy) :: !ms;
+      U.Table.add_row t
+        [
+          wname;
+          Printf.sprintf "%+.1f%%" sound;
+          Printf.sprintf "%+.1f%%" legacy;
+          Printf.sprintf "%+.1f pp" (sound -. legacy);
+        ])
+    rows;
+  let geo_pp =
+    let ratios =
+      List.map
+        (fun (_, sound, legacy) ->
+          (1. +. (sound /. 100.)) /. (1. +. (legacy /. 100.)))
+        rows
+    in
+    100. *. (U.Stats.geomean ratios -. 1.)
+  in
+  ms := ("geomean.soundness_overhead_pct", geo_pp) :: !ms;
+  {
+    text =
+      U.Table.render t
+      ^ Printf.sprintf "Geomean slowdown of sound over optimistic: %+.1f%%\n"
+          geo_pp;
+    metrics = List.rev !ms;
+  }
+
 (* Detection latency: how quickly GECKO notices an attack that begins
    mid-run. *)
 let detection_latency fidelity =
@@ -998,6 +1069,7 @@ let artifacts =
     ("table3", table3_checkpoint_stores);
     ("ablation", ablation);
     ("budget-sweep", budget_sweep);
+    ("soundness-overhead", soundness_overhead);
     ("detection-latency", detection_latency);
   ]
 

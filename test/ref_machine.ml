@@ -169,7 +169,10 @@ type state = {
   mutable corruptions : int;
   mutable io_in_count : int;
   mutable io_out_count : int;
-  mutable io_log : (int * int) list; (* reversed *)
+  mutable io_log : (int * int) list; (* reversed; committed records only *)
+  (* GECKO staged-commit io_log, mirroring the optimized interpreter. *)
+  mutable io_staged : (int * int) list; (* reversed *)
+  mutable io_staged_ckpt : (int * int) list;
   mutable events : event list; (* reversed *)
   (* timeline *)
   tl_app : float array;
@@ -314,8 +317,9 @@ let shutdown st =
 let brownout st =
   st.brownouts <- st.brownouts + 1;
   record st Ev_brownout;
-  (* Volatile state is lost. *)
+  (* Volatile state is lost — including any uncommitted io_log stage. *)
   Array.fill st.regs 0 Reg.count 0;
+  st.io_staged <- [];
   shutdown st
 
 let monitor_is_gecko st =
@@ -333,6 +337,7 @@ let set_mode st m =
 
 let fresh_start st =
   Array.fill st.regs 0 Reg.count 0;
+  st.io_staged <- [];
   st.regs.(Reg.to_int Reg.sp) <- st.image.Link.stack_words - 1;
   st.pc <- st.image.Link.entry
 
@@ -396,7 +401,11 @@ let jit_checkpoint_work st =
      record st Ev_checkpoint_failed;
      brownout st
    end
-   else record st Ev_checkpoint)
+   else begin
+     (* The stage is part of the checkpointed volatile state. *)
+     st.io_staged_ckpt <- st.io_staged;
+     record st Ev_checkpoint
+   end)
   end
 
 (* The JIT checkpoint ISR latency — from backup signal to the ACK write
@@ -443,6 +452,9 @@ let run_recovery_slice st (rec_ : Meta.recovery) =
   st.regs.(Reg.to_int rec_.Meta.g_reg) <- scratch.(Reg.to_int rec_.Meta.g_reg)
 
 let gecko_rollback_work st =
+  (* Anything staged after the committed boundary is discarded: the
+     region that produced it re-executes from the restore point. *)
+  st.io_staged <- [];
   let bid = Nvm.read st.nvm (sys_cell st Link.Cells.sys_boundary) - 1 in
   if bid < 0 then begin
     record st Ev_fresh_start;
@@ -499,6 +511,7 @@ let ratchet_rollback st =
 
 let restore_jit st =
   record st Ev_restore_jit;
+  st.io_staged <- st.io_staged_ckpt;
   spend st (ctpl_sram_words * Cost.nvm_read_cycles)
     ~extra:(nvm_extra st ~reads:ctpl_sram_words ~writes:0);
   for i = 0 to Reg.count - 1 do
@@ -614,6 +627,13 @@ let io_in_value st port =
   Gecko_util.Rng.int h 1024
 
 let complete st =
+  (* Defensive: region formation brackets every [Out] with a boundary,
+     so the stage is empty here; if a hand-built program reaches [Halt]
+     with staged records, completion commits them. *)
+  if st.io_staged <> [] then begin
+    st.io_log <- st.io_staged @ st.io_log;
+    st.io_staged <- []
+  end;
   st.completions <- st.completions + 1;
   record st Ev_completion;
   st.completion_times <- st.time :: st.completion_times;
@@ -667,7 +687,11 @@ let exec_op st i =
       spend st c ~extra:0.;
       st.io_out_count <- st.io_out_count + 1;
       if st.opts.record_io then
-        st.io_log <- (port, st.regs.(r s)) :: st.io_log
+        if monitor_is_gecko st then
+          (* Staged, not logged: the record becomes persistent only at
+             the region commit point. *)
+          st.io_staged <- (port, st.regs.(r s)) :: st.io_staged
+        else st.io_log <- (port, st.regs.(r s)) :: st.io_log
   | Instr.Nop -> spend st c ~extra:0.
   | Instr.Ckpt (src, colour) ->
       spend st c ~extra:(nvm_extra st ~reads:0 ~writes:1);
@@ -693,6 +717,13 @@ let exec_op st i =
           let parity = Nvm.read st.nvm (sys_cell st Link.Cells.sys_parity) in
           Nvm.write st.nvm (sys_cell st Link.Cells.sys_parity) (1 - parity)
       | Scheme.Gecko | Scheme.Gecko_noprune ->
+          (* Region commit: atomically append the staged io_log records.
+             Both lists are newest-first, so prepending the stage keeps
+             the log in emission order. *)
+          if st.io_staged <> [] then begin
+            st.io_log <- st.io_staged @ st.io_log;
+            st.io_staged <- []
+          end;
           let mode' = Policy.on_region_commit st.mode in
           if st.mode = Policy.Probe && mode' = Policy.Jit_on then begin
             st.reenables <- st.reenables + 1;
@@ -872,6 +903,8 @@ let make_state ~board ~image ~meta opts =
       io_in_count = 0;
       io_out_count = 0;
       io_log = [];
+      io_staged = [];
+      io_staged_ckpt = [];
       events = [];
       tl_app = Array.make (max n_buckets 1) 0.;
       tl_comp = Array.make (max n_buckets 1) 0;

@@ -45,26 +45,32 @@ let explore ?(budget = 120) ?pairs scheme w =
      explored site of every workload.
    - NVP is crash-INCONSISTENT on qsort and fft: a collapse inside the
      JIT checkpoint window resumes from a half-written snapshot (the
-     attack surface of the paper).
-   - GECKO has latent pre-existing defects on basicmath, blink,
-     dhrystone, fft and qsort (register-slot idempotence on dynamically
-     addressed stores; blink loses io_log entries across a rollback).
-     These are pinned as FOUND so the explorer's power is itself under
-     test; ROADMAP.md tracks the fixes.  When a fix lands, move the
-     workload into the clean set below. *)
+     attack surface of the paper; kept as the positive control that the
+     explorer still has teeth).
+   - GECKO is crash-consistent on ALL workloads.  The five formerly
+     defective ones (basicmath, blink, dhrystone, fft, qsort — may-alias
+     WAR hazards through dynamically addressed stores, and blink's torn
+     io_log across a rollback) went clean with the sound pipeline
+     (hazard-aware region formation + owner-only pinned reuse +
+     Verify.slots/io_commit gates + staged io_log commit); they get
+     extra k=2 pair exploration below so a regression in the fix shows
+     up as a FOUND failure here. *)
 
 let nvp_failing = [ "fft"; "qsort" ]
-let gecko_failing = [ "basicmath"; "blink"; "dhrystone"; "fft"; "qsort" ]
+
+(* Defective before the sound may-alias pipeline; pinned clean now. *)
+let gecko_formerly_failing = [ "basicmath"; "blink"; "dhrystone"; "fft"; "qsort" ]
 
 let expect_failures scheme w =
   match scheme with
   | Core.Scheme.Ratchet -> false
   | Core.Scheme.Nvp -> List.mem w nvp_failing
-  | Core.Scheme.Gecko | Core.Scheme.Gecko_noprune -> List.mem w gecko_failing
+  | Core.Scheme.Gecko | Core.Scheme.Gecko_noprune -> false
 
 let sweep_one scheme w =
-  (* blink's and fft's GECKO defects sit at single sites the CI stride
-     misses; give those two the full exhaustive budget (still cheap). *)
+  (* blink's and fft's former GECKO defects sat at single sites the CI
+     stride misses; keep the full exhaustive budget there (still cheap)
+     so a regression cannot hide between strides. *)
   let budget =
     if scheme = Core.Scheme.Gecko && (w = "blink" || w = "fft") then 400
     else 120
@@ -82,14 +88,26 @@ let sweep_one scheme w =
 
 let test_sweep scheme () = List.iter (sweep_one scheme) W.Workload.names
 
-let test_blink_io_log_defect () =
+let test_blink_io_log_intact () =
+  (* Inverted from the seed's pinned defect: with the staged io_log
+     commit, an exhaustive sweep finds no failure at all on blink — in
+     particular no "golden" mismatch (a lost or duplicated io record). *)
   let r = explore ~budget:400 Core.Scheme.Gecko "blink" in
-  Alcotest.(check bool) "blink/gecko loses io_log entries" true
-    (List.exists
-       (fun f ->
-         let d = f.FI.Explore.f_detail in
-         String.length d >= 6 && String.sub d 0 6 = "golden")
-       r.FI.Explore.failures)
+  Alcotest.(check (list Alcotest.string)) "blink/gecko io_log intact" []
+    (List.map (fun f -> f.FI.Explore.f_detail) r.FI.Explore.failures)
+
+let test_formerly_failing_pairs () =
+  (* Double-failure (k=2) exploration on the five workloads the sound
+     pipeline fixed: a rollback interrupted by a second collapse must
+     also find only committed state. *)
+  List.iter
+    (fun w ->
+      let r = explore ~budget:120 ~pairs:12 Core.Scheme.Gecko w in
+      Alcotest.(check int) (w ^ " k=2 replays") 12 r.FI.Explore.explored_pairs;
+      Alcotest.(check (list Alcotest.string))
+        (w ^ " no single or pair failures") []
+        (List.map (fun f -> f.FI.Explore.f_detail) r.FI.Explore.failures))
+    gecko_formerly_failing
 
 (* {1 Census determinism and k=2 pairs} *)
 
@@ -293,8 +311,10 @@ let () =
             (test_sweep Core.Scheme.Nvp);
           Alcotest.test_case "gecko landscape" `Quick
             (test_sweep Core.Scheme.Gecko);
-          Alcotest.test_case "blink io_log defect detail" `Quick
-            test_blink_io_log_defect;
+          Alcotest.test_case "blink io_log intact" `Quick
+            test_blink_io_log_intact;
+          Alcotest.test_case "formerly-defective workloads, k=2 pairs" `Quick
+            test_formerly_failing_pairs;
         ] );
       ( "explorer-mechanics",
         [

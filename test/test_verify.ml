@@ -80,6 +80,86 @@ let test_idempotence_flags_stripped_boundaries () =
     p.Cfg.funcs;
   check_err "idempotence after stripping boundaries" (Core.Verify.idempotence p)
 
+(* --- may-alias (dynamic) WAR ----------------------------------------- *)
+
+(* A WAR through register-addressed references: the load's and store's
+   displacements are registers, so only a may-alias analysis can see the
+   hazard. *)
+let dyn_war () =
+  let b = B.program "dynwar" in
+  let d = B.space b "d" ~words:4 () in
+  B.func b "main";
+  B.block b "entry";
+  B.li b Reg.r2 0;
+  B.li b Reg.r3 1;
+  B.ld b Reg.r1 (B.idx d Reg.r2);
+  B.add b Reg.r1 Reg.r1 (B.imm 1);
+  B.st b (B.idx d Reg.r3) Reg.r1;
+  B.halt b;
+  B.finish b
+
+(* Insert [Boundary 0] immediately before the first matching instruction
+   of [main] — the "cut" resolution class, by hand. *)
+let cut_before p pred =
+  let p = Core.Copy.program p in
+  let f = List.hd p.Cfg.funcs in
+  List.iter
+    (fun blk ->
+      blk.Cfg.instrs <-
+        List.concat_map
+          (fun i -> if pred i then [ Instr.Boundary 0; i ] else [ i ])
+          blk.Cfg.instrs)
+    f.Cfg.blocks;
+  p
+
+let test_idempotence_flags_dynamic_war () =
+  check_err "idempotence on register-addressed WAR"
+    (Core.Verify.idempotence (dyn_war ()))
+
+let test_idempotence_accepts_cut_dynamic_war () =
+  let cut =
+    cut_before (dyn_war ()) (function Instr.St _ -> true | _ -> false)
+  in
+  check_ok "idempotence once the dynamic store is cut"
+    (Core.Verify.idempotence cut)
+
+let test_pipeline_cuts_dynamic_war () =
+  (* The sound pipeline must form regions that break the hazard on its
+     own, and the emitted program must satisfy the sound gate. *)
+  let p, _ = Core.Pipeline.compile Core.Scheme.Gecko (dyn_war ()) in
+  check_ok "compiled dynamic-WAR program is idempotent"
+    (Core.Verify.idempotence p)
+
+(* The seed's optimistic criterion trusted a stale must-alias write even
+   when a register-addressed store in between may clobber the location:
+   store d[0]; store d[r3] (may alias d[0]); load d[0]; store d[0].  The
+   legacy WARAW exemption sees the first store and exempts the pair; the
+   sound analysis reports the intervening dynamic store as a clobber. *)
+let clobbered_waraw () =
+  let b = B.program "clobber" in
+  let d = B.space b "d" ~words:4 () in
+  B.func b "main";
+  B.block b "entry";
+  B.li b Reg.r5 7;
+  B.li b Reg.r3 1;
+  B.st b (B.at d 0) Reg.r5;
+  B.st b (B.idx d Reg.r3) Reg.r5;
+  B.ld b Reg.r1 (B.at d 0);
+  B.add b Reg.r1 Reg.r1 (B.imm 1);
+  B.st b (B.at d 0) Reg.r1;
+  B.halt b;
+  B.finish b
+
+let test_sound_rejects_clobbered_waraw () =
+  check_err "sound idempotence flags the clobbered WARAW exemption"
+    (Core.Verify.idempotence (clobbered_waraw ()))
+
+let test_legacy_accepts_clobbered_waraw () =
+  (* Pinning the strengthening itself: the seed's criterion accepts the
+     very program the sound gate rejects. *)
+  check_ok "legacy idempotence trusts the stale write"
+    (Core.Verify.idempotence ~legacy:true (clobbered_waraw ()))
+
 (* --- coloring --------------------------------------------------------- *)
 
 let sabotage_colors p meta =
@@ -123,6 +203,60 @@ let test_coloring_flags_collapsed_colors () =
   check_err "coloring with every colour forced to 0"
     (Core.Verify.coloring p' meta')
 
+(* --- slots (window clobbers) ------------------------------------------ *)
+
+let test_slots_ok_after_pipeline () =
+  let p, meta = compile ~budget_cycles:80 Core.Scheme.Gecko in
+  check_ok "slots on compiled program" (Core.Verify.slots p meta)
+
+let test_slots_flags_collapsed_colors () =
+  (* Collapsing every colour to 0 makes each restore read a slot that the
+     next boundary's store overwrites inside the crash window — the
+     defect class the gate exists for, detected independently of the
+     colouring metadata. *)
+  let p, meta = compile ~budget_cycles:80 Core.Scheme.Gecko in
+  let p', meta' = sabotage_colors p meta in
+  check_err "slots with every colour forced to 0" (Core.Verify.slots p' meta')
+
+(* --- io_commit (atomic io_log) ---------------------------------------- *)
+
+let torn_io () =
+  let b = B.program "torn" in
+  B.func b "main";
+  B.block b "entry";
+  B.li b Reg.r1 42;
+  B.io_out b 0 Reg.r1;
+  B.add b Reg.r1 Reg.r1 (B.imm 1);
+  B.halt b;
+  B.finish b
+
+let test_io_commit_flags_torn_out () =
+  check_err "io_commit on Out without a committing boundary"
+    (Core.Verify.io_commit (torn_io ()))
+
+let test_io_commit_accepts_bracketed_out () =
+  (* Splice the commit point in by hand (Ckpt stores may sit between the
+     Out and its boundary, as emission produces). *)
+  let p = Core.Copy.program (torn_io ()) in
+  let f = List.hd p.Cfg.funcs in
+  List.iter
+    (fun blk ->
+      blk.Cfg.instrs <-
+        List.concat_map
+          (fun i ->
+            match i with
+            | Instr.Out _ ->
+                [ i; Instr.Ckpt (Reg.r1, 0); Instr.Boundary 0 ]
+            | _ -> [ i ])
+          blk.Cfg.instrs)
+    f.Cfg.blocks;
+  check_ok "io_commit once the Out is bracketed" (Core.Verify.io_commit p)
+
+let test_io_commit_ok_after_pipeline () =
+  let prog = (Gecko_workloads.Workload.find "blink").Gecko_workloads.Workload.build () in
+  let p, _ = Core.Pipeline.compile Core.Scheme.Gecko prog in
+  check_ok "io_commit on compiled blink" (Core.Verify.io_commit p)
+
 (* --- wcet ------------------------------------------------------------- *)
 
 let test_wcet_ok_with_ample_budget () =
@@ -145,12 +279,41 @@ let () =
           Alcotest.test_case "flags stripped boundaries" `Quick
             test_idempotence_flags_stripped_boundaries;
         ] );
+      ( "may-alias-war",
+        [
+          Alcotest.test_case "flags register-addressed WAR" `Quick
+            test_idempotence_flags_dynamic_war;
+          Alcotest.test_case "accepts the hand-cut resolution" `Quick
+            test_idempotence_accepts_cut_dynamic_war;
+          Alcotest.test_case "pipeline cuts it automatically" `Quick
+            test_pipeline_cuts_dynamic_war;
+          Alcotest.test_case "sound rejects clobbered WARAW exemption" `Quick
+            test_sound_rejects_clobbered_waraw;
+          Alcotest.test_case "legacy accepts it (pinned delta)" `Quick
+            test_legacy_accepts_clobbered_waraw;
+        ] );
       ( "coloring",
         [
           Alcotest.test_case "accepts compiled program" `Quick
             test_coloring_ok_after_pipeline;
           Alcotest.test_case "flags collapsed colours" `Quick
             test_coloring_flags_collapsed_colors;
+        ] );
+      ( "slots",
+        [
+          Alcotest.test_case "accepts compiled program" `Quick
+            test_slots_ok_after_pipeline;
+          Alcotest.test_case "flags collapsed colours" `Quick
+            test_slots_flags_collapsed_colors;
+        ] );
+      ( "io-commit",
+        [
+          Alcotest.test_case "flags an uncommitted Out" `Quick
+            test_io_commit_flags_torn_out;
+          Alcotest.test_case "accepts a bracketed Out" `Quick
+            test_io_commit_accepts_bracketed_out;
+          Alcotest.test_case "accepts compiled blink" `Quick
+            test_io_commit_ok_after_pipeline;
         ] );
       ( "wcet",
         [
