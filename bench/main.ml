@@ -163,6 +163,32 @@ let sim_instr_per_sec () =
   let wall = now () -. t0 in
   float_of_int o.Gecko_machine.Machine.instructions /. Float.max wall 1e-9
 
+(* Fleet campaign throughput: devices simulated per wall second (and the
+   aggregate simulated-instruction rate) on a fixed-seed campaign over
+   the shared Workbench pool.  This is the headline number for the
+   fleet-scale simulator. *)
+let fleet_bench () =
+  let devices = match fidelity with E.Quick -> 64 | E.Full -> 512 in
+  let spec = Gecko_fleet.Spec.make ~devices ~attackers:2 ~seed:1 () in
+  let t0 = now () in
+  let r = Gecko_fleet.Campaign.run spec in
+  let wall = now () -. t0 in
+  let instr = float_of_int r.Gecko_fleet.Campaign.instructions_run in
+  let devices_per_sec = float_of_int devices /. Float.max wall 1e-9 in
+  let sim_instr_per_sec = instr /. Float.max wall 1e-9 in
+  (match r.Gecko_fleet.Campaign.report with
+  | Some rep -> print_string (Gecko_fleet.Report.render rep)
+  | None -> ());
+  Printf.printf
+    "\n%d devices in %.2f s wall: %.1f devices/s, %.3e sim instr/s\n" devices
+    wall devices_per_sec sim_instr_per_sec;
+  [
+    ("devices", float_of_int devices);
+    ("devices_per_sec", devices_per_sec);
+    ("sim_instr_per_sec", sim_instr_per_sec);
+    ("wall_seconds", wall);
+  ]
+
 let results_json ~experiments ~micro ~instr_per_sec ~wall_total =
   let metric_obj ms =
     Json.Assoc
@@ -205,6 +231,9 @@ let () =
   banner "Interpreter throughput";
   let instr_per_sec = sim_instr_per_sec () in
   Printf.printf "simulated instructions per wall second: %.3e\n" instr_per_sec;
+  banner "Fleet campaign throughput";
+  let fleet_metrics = fleet_bench () in
+  let experiments = experiments @ [ ("fleet", fleet_metrics) ] in
   let wall_total = now () -. t0 in
   Printf.printf "\ntotal wall time: %.2f s\n" wall_total;
   let out =

@@ -510,6 +510,184 @@ let fuzz_cmd =
     Term.(const run $ workload_arg $ scheme_arg $ budget $ seed $ pairs $ jobs
           $ out)
 
+(* --- fleet ------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let module F = Gecko.Fleet in
+  let devices =
+    Arg.(
+      value & opt int 256
+      & info [ "devices" ] ~docv:"N" ~doc:"Fleet size (number of devices).")
+  in
+  let attackers =
+    Arg.(
+      value & opt int 1
+      & info [ "attackers" ] ~docv:"K"
+          ~doc:"Mobile attackers sweeping the deployment (0 = no attack).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Shard pool size.  Defaults to $(b,GECKO_JOBS) or the runtime's \
+             recommended domain count; the merged report is byte-identical \
+             at any value.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.05
+      & info [ "duration" ] ~docv:"T" ~doc:"Simulated seconds per device.")
+  in
+  let area =
+    Arg.(
+      value & opt float 30.
+      & info [ "area" ] ~docv:"M" ~doc:"Side of the square deployment (m).")
+  in
+  let shard_size =
+    Arg.(
+      value & opt int 32
+      & info [ "shard-size" ] ~docv:"N" ~doc:"Devices per work unit.")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (list string) [ "crc16"; "crc32"; "bitcnt"; "fir" ]
+      & info [ "workloads" ] ~docv:"W,.."
+          ~doc:"Workload mix, drawn per device from its RNG stream.")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt (list scheme_conv)
+          [ Compiler.Scheme.Nvp; Compiler.Scheme.Ratchet; Compiler.Scheme.Gecko ]
+      & info [ "schemes" ] ~docv:"S,.." ~doc:"Recovery-scheme mix.")
+  in
+  let power =
+    Arg.(
+      value & opt float 30.
+      & info [ "power" ] ~docv:"DBM" ~doc:"Attacker transmit power.")
+  in
+  let freq =
+    Arg.(
+      value & opt float 27.
+      & info [ "freq" ] ~docv:"MHZ" ~doc:"Attack tone frequency.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the merged JSON report here.")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint completed shards to this gecko.fleet/1 file after \
+             every wave (write-then-rename), so a killed campaign resumes \
+             without rework.  Defaults to the $(b,--resume) file when \
+             resuming.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a gecko.fleet/1 snapshot: completed shards are \
+             reused, only the missing ones run, and the merged report is \
+             byte-identical to an uninterrupted campaign.")
+  in
+  let max_shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shards" ] ~docv:"N"
+          ~doc:
+            "Stop after N newly-run shards (controlled interruption; \
+             combine with $(b,--snapshot) and finish later with \
+             $(b,--resume)).")
+  in
+  let run devices attackers seed jobs duration area shard_size workloads
+      schemes power freq out snapshot resume max_shards =
+    (match jobs with
+    | Some n when n >= 1 -> Gecko.Workbench.set_jobs n
+    | Some n ->
+        Printf.eprintf "--jobs must be >= 1 (got %d)\n" n;
+        exit 1
+    | None -> ());
+    let fail_invalid msg =
+      Printf.eprintf "gecko fleet: %s\n" msg;
+      exit 1
+    in
+    let spec =
+      try
+        F.Spec.make ~devices ~attackers ~seed ~duration ~area_m:area
+          ~shard_size ~workload_mix:workloads ~scheme_mix:schemes
+          ~power_dbm:power ~freq_mhz:freq ()
+      with Invalid_argument msg -> fail_invalid msg
+    in
+    let resume_state =
+      match resume with
+      | None -> None
+      | Some path -> (
+          match F.Campaign.load_snapshot path with
+          | state -> Some state
+          | exception Sys_error msg -> fail_invalid msg
+          | exception Invalid_argument msg -> fail_invalid msg)
+    in
+    let snapshot_path =
+      match (snapshot, resume) with Some p, _ -> Some p | None, r -> r
+    in
+    let hits0, misses0 = Gecko.Workbench.cache_counts () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      try
+        F.Campaign.run ?snapshot_path ?resume:resume_state ?max_shards spec
+      with Invalid_argument msg -> fail_invalid msg
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let hits1, misses1 = Gecko.Workbench.cache_counts () in
+    (match r.F.Campaign.report with
+    | Some report ->
+        print_string (F.Report.render report);
+        (match out with
+        | Some path ->
+            write_file path
+              (Gecko.Obs.Json.to_string (F.Report.to_json report) ^ "\n");
+            Printf.printf "report -> %s\n" path
+        | None -> ())
+    | None ->
+        Printf.printf
+          "campaign interrupted: %d/%d shards complete%s\n"
+          r.F.Campaign.completed_shards r.F.Campaign.total_shards
+          (match snapshot_path with
+          | Some p -> Printf.sprintf " (resume with --resume %s)" p
+          | None -> ""));
+    Printf.printf
+      "%d devices in %.2f s wall (%d resumed shards): %.1f devices/s, \
+       %.3e sim instr/s | compile cache %d hits / %d misses\n"
+      r.F.Campaign.devices_run wall r.F.Campaign.resumed_shards
+      (float_of_int r.F.Campaign.devices_run /. Float.max wall 1e-9)
+      (float_of_int r.F.Campaign.instructions_run /. Float.max wall 1e-9)
+      (hits1 - hits0) (misses1 - misses0)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a campaign of many intermittent devices under mobile EMI \
+          attackers sweeping a shared deployment")
+    Term.(
+      const run $ devices $ attackers $ seed $ jobs $ duration $ area
+      $ shard_size $ workloads $ schemes $ power $ freq $ out $ snapshot
+      $ resume $ max_shards)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -577,4 +755,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; run_cmd; fuzz_cmd; experiment_cmd ]))
+          [ list_cmd; compile_cmd; run_cmd; fuzz_cmd; fleet_cmd; experiment_cmd ]))

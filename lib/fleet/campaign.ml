@@ -1,0 +1,331 @@
+module Json = Gecko_obs.Json
+module Metrics = Gecko_obs.Metrics
+module Rng = Gecko_util.Rng
+module M = Gecko_machine.Machine
+module Board = Gecko_machine.Board
+module W = Gecko_workloads.Workload
+module Workbench = Gecko_harness.Workbench
+
+type device = {
+  id : int;
+  workload : string;
+  scheme : Gecko_core.Scheme.t;
+  board : Spec.board_kind;
+  x : float;
+  y : float;
+  seed : int;
+}
+
+(* One RNG stream per device, split from the campaign seed before anything
+   else consumes the master stream; the field draws its trajectories from
+   a further split.  Device attributes depend only on (campaign seed,
+   device id), never on shard shape or execution order. *)
+let elaborate (spec : Spec.t) =
+  let master = Rng.create spec.Spec.seed in
+  let streams = Array.init spec.Spec.devices (fun _ -> Rng.split master) in
+  let field =
+    Field.make ~attackers:spec.Spec.attackers ~area_m:spec.Spec.area_m
+      ~speed:spec.Spec.attacker_speed_mps ~duration:spec.Spec.duration
+      ~steps:spec.Spec.field_steps ~freq_mhz:spec.Spec.freq_mhz
+      ~power_dbm:spec.Spec.power_dbm ~range_m:spec.Spec.range_m
+      (Rng.split master)
+  in
+  let workloads = Array.of_list spec.Spec.workload_mix in
+  let schemes = Array.of_list spec.Spec.scheme_mix in
+  let boards = Array.of_list spec.Spec.board_mix in
+  let devices =
+    Array.mapi
+      (fun id rng ->
+        let x = Rng.float rng spec.Spec.area_m in
+        let y = Rng.float rng spec.Spec.area_m in
+        {
+          id;
+          workload = Rng.choose rng workloads;
+          scheme = Rng.choose rng schemes;
+          board = Rng.choose rng boards;
+          x;
+          y;
+          seed = Rng.int rng 0x3FFFFFFF;
+        })
+      streams
+  in
+  (devices, field)
+
+(* --- single device ---------------------------------------------------- *)
+
+let board_of = function
+  | Spec.Attack_rig -> Board.attack_rig ()
+  | Spec.Bench -> Board.default ()
+
+let run_device ~(spec : Spec.t) ~field (d : device) =
+  let schedule = Field.schedule_at field ~x:d.x ~y:d.y in
+  let image, meta = Workbench.compiled d.scheme ((W.find d.workload).W.build ()) in
+  let reg = Metrics.create () in
+  let o =
+    M.run ~board:(board_of d.board) ~image ~meta
+      {
+        M.default_options with
+        schedule;
+        limit = M.Sim_time spec.Spec.duration;
+        max_sim_time = spec.Spec.duration +. 1.;
+        restart_on_halt = true;
+        record_events = true;
+        seed = d.seed;
+        metrics = Some reg;
+      }
+  in
+  let gauge name = Metrics.gauge_value (Metrics.gauge reg name) in
+  let agg =
+    Agg.of_device ~schedule ~energy_drained_j:(gauge "energy.drained_j")
+      ~energy_sourced_j:(gauge "energy.sourced_j") o
+  in
+  (agg, reg)
+
+(* --- shards ----------------------------------------------------------- *)
+
+type shard_result = {
+  sr_id : int;
+  sr_agg : Agg.t;
+  sr_per_scheme : (string * Agg.t) list;
+  sr_per_workload : (string * Agg.t) list;
+  sr_metrics : Json.t;  (* Metrics.to_persist of the shard registry *)
+}
+
+let merge_groups groups =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (k, a) ->
+      let prev = Option.value ~default:Agg.empty (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (Agg.merge prev a))
+    groups;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let shard_devices (spec : Spec.t) (devices : device array) sid =
+  let lo = sid * spec.Spec.shard_size in
+  let hi = min (lo + spec.Spec.shard_size) spec.Spec.devices in
+  Array.sub devices lo (hi - lo)
+
+(* Each shard runs its devices serially in id order and aggregates
+   locally: one Agg per scheme/workload group plus a shard-local metrics
+   registry.  The shard result is a pure value; reduction happens later,
+   in shard order, whatever the pool width. *)
+let run_shard ~spec ~field ~devices sid =
+  let reg = Metrics.create () in
+  let agg = ref Agg.empty in
+  let per_scheme = ref [] and per_workload = ref [] in
+  Array.iter
+    (fun d ->
+      let a, dev_reg = run_device ~spec ~field d in
+      Metrics.merge_into reg dev_reg;
+      agg := Agg.merge !agg a;
+      per_scheme := (Spec.scheme_slug d.scheme, a) :: !per_scheme;
+      per_workload := (d.workload, a) :: !per_workload)
+    (shard_devices spec devices sid);
+  {
+    sr_id = sid;
+    sr_agg = !agg;
+    sr_per_scheme = merge_groups !per_scheme;
+    sr_per_workload = merge_groups !per_workload;
+    sr_metrics = Metrics.to_persist reg;
+  }
+
+let shard_to_json sr =
+  Json.Assoc
+    [
+      ("shard", Json.Int sr.sr_id);
+      ("agg", Agg.to_json sr.sr_agg);
+      ( "per_scheme",
+        Json.Assoc (List.map (fun (k, a) -> (k, Agg.to_json a)) sr.sr_per_scheme)
+      );
+      ( "per_workload",
+        Json.Assoc
+          (List.map (fun (k, a) -> (k, Agg.to_json a)) sr.sr_per_workload) );
+      ("metrics", sr.sr_metrics);
+    ]
+
+let shard_of_json j =
+  let bad msg = invalid_arg ("Fleet.Campaign.shard_of_json: " ^ msg) in
+  let field k =
+    match Json.member k j with Some v -> v | None -> bad ("missing " ^ k)
+  in
+  let groups k =
+    match field k with
+    | Json.Assoc kvs -> List.map (fun (n, v) -> (n, Agg.of_json v)) kvs
+    | _ -> bad (k ^ " is not an object")
+  in
+  {
+    sr_id = (match field "shard" with Json.Int i -> i | _ -> bad "shard id");
+    sr_agg = Agg.of_json (field "agg");
+    sr_per_scheme = groups "per_scheme";
+    sr_per_workload = groups "per_workload";
+    sr_metrics = field "metrics";
+  }
+
+(* --- snapshots (gecko.fleet/1) ---------------------------------------- *)
+
+let snapshot_schema = "gecko.fleet/1"
+
+let snapshot_json (spec : Spec.t) completed =
+  Json.Assoc
+    [
+      ("schema", Json.String snapshot_schema);
+      ("spec", Spec.to_json spec);
+      ("total_shards", Json.Int (Spec.shards spec));
+      ("shards", Json.List (List.map shard_to_json completed));
+    ]
+
+(* Write-then-rename, so a campaign killed mid-write leaves the previous
+   snapshot intact — the fleet simulator checkpoints like its subject. *)
+let write_snapshot path json =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Json.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let parse_snapshot contents =
+  let bad msg = invalid_arg ("Fleet.Campaign.parse_snapshot: " ^ msg) in
+  match Json.parse contents with
+  | Error e -> bad ("malformed JSON: " ^ e)
+  | Ok j ->
+      (match Json.member "schema" j with
+      | Some (Json.String s) when s = snapshot_schema -> ()
+      | Some (Json.String s) ->
+          bad (Printf.sprintf "schema %S, expected %S" s snapshot_schema)
+      | _ -> bad "missing schema");
+      let spec =
+        match Json.member "spec" j with
+        | Some sj -> Spec.of_json sj
+        | None -> bad "missing spec"
+      in
+      let shards =
+        match Json.member "shards" j with
+        | Some (Json.List xs) -> List.map shard_of_json xs
+        | _ -> bad "missing shards"
+      in
+      let total = Spec.shards spec in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun sr ->
+          if sr.sr_id < 0 || sr.sr_id >= total then
+            bad (Printf.sprintf "shard id %d out of range" sr.sr_id);
+          if Hashtbl.mem seen sr.sr_id then
+            bad (Printf.sprintf "duplicate shard %d" sr.sr_id);
+          Hashtbl.replace seen sr.sr_id ())
+        shards;
+      (spec, shards)
+
+let load_snapshot path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse_snapshot contents
+
+(* --- the campaign ----------------------------------------------------- *)
+
+type result = {
+  report : Report.t option;  (* None when stopped before the last shard *)
+  completed_shards : int;
+  total_shards : int;
+  resumed_shards : int;
+  devices_run : int;
+  instructions_run : int;
+}
+
+let report_of_shards (spec : Spec.t) completed =
+  let sorted = List.sort (fun a b -> compare a.sr_id b.sr_id) completed in
+  let reg = Metrics.create () in
+  List.iter (fun sr -> Metrics.merge_into reg (Metrics.of_persist sr.sr_metrics))
+    sorted;
+  {
+    Report.spec;
+    total = List.fold_left (fun acc sr -> Agg.merge acc sr.sr_agg) Agg.empty sorted;
+    per_scheme = merge_groups (List.concat_map (fun sr -> sr.sr_per_scheme) sorted);
+    per_workload =
+      merge_groups (List.concat_map (fun sr -> sr.sr_per_workload) sorted);
+    metrics_persist = Metrics.to_persist reg;
+  }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: xs -> x :: take (n - 1) xs
+
+let rec drop n = function
+  | xs when n <= 0 -> xs
+  | [] -> []
+  | _ :: xs -> drop (n - 1) xs
+
+let run ?snapshot_path ?resume ?max_shards (spec : Spec.t) =
+  ignore (Spec.validate spec);
+  (match max_shards with
+  | Some n when n < 1 ->
+      invalid_arg "Fleet.Campaign.run: max_shards must be >= 1"
+  | Some _ | None -> ());
+  let resumed =
+    match resume with
+    | None -> []
+    | Some (rspec, shards) ->
+        if not (Spec.equal rspec spec) then
+          invalid_arg
+            "Fleet.Campaign.run: snapshot spec differs from the requested \
+             campaign";
+        shards
+  in
+  let devices, field = elaborate spec in
+  let total = Spec.shards spec in
+  let done_ids = Hashtbl.create 64 in
+  List.iter (fun sr -> Hashtbl.replace done_ids sr.sr_id ()) resumed;
+  let pending =
+    List.filter
+      (fun sid -> not (Hashtbl.mem done_ids sid))
+      (List.init total Fun.id)
+  in
+  let pending =
+    match max_shards with Some n -> take n pending | None -> pending
+  in
+  let completed = ref resumed in
+  let snapshot () =
+    match snapshot_path with
+    | None -> ()
+    | Some path ->
+        let sorted =
+          List.sort (fun a b -> compare a.sr_id b.sr_id) !completed
+        in
+        write_snapshot path (snapshot_json spec sorted)
+  in
+  let wave = max 1 (Workbench.jobs ()) in
+  let rec waves todo =
+    match take wave todo with
+    | [] -> ()
+    | chunk ->
+        let results =
+          Workbench.pmap (fun sid -> run_shard ~spec ~field ~devices sid) chunk
+        in
+        completed := !completed @ results;
+        snapshot ();
+        waves (drop wave todo)
+  in
+  waves pending;
+  let new_shards =
+    (* The freshly-run results are the suffix of [completed]. *)
+    drop (List.length resumed) !completed
+  in
+  let devices_run =
+    List.fold_left (fun n sr -> n + sr.sr_agg.Agg.devices) 0 new_shards
+  in
+  let instructions_run =
+    List.fold_left (fun n sr -> n + sr.sr_agg.Agg.instructions) 0 new_shards
+  in
+  let all_done = List.length !completed = total in
+  {
+    report = (if all_done then Some (report_of_shards spec !completed) else None);
+    completed_shards = List.length !completed;
+    total_shards = total;
+    resumed_shards = List.length resumed;
+    devices_run;
+    instructions_run;
+  }

@@ -1,0 +1,98 @@
+(** Sharded execution of a fleet campaign, with checkpoint/resume.
+
+    The spec elaborates into per-device assignments (one RNG stream per
+    device, split from the campaign seed) and one shared {!Field}.
+    Devices partition into shards of [spec.shard_size]; each shard runs
+    its devices serially and aggregates locally, and shards fan out over
+    the shared {!Gecko_harness.Workbench} pool in fixed-size waves.
+    Compilation goes through the Workbench's process-wide compile cache,
+    so each workload×scheme pair compiles once per process — not once per
+    device.
+
+    Reduction folds shard results in shard-id order, so the merged report
+    is byte-identical for any [--jobs] and any shard size.  After every
+    wave the completed shard results are written to a versioned
+    [gecko.fleet/1] snapshot (write-then-rename); a later invocation with
+    the same spec resumes from it, re-running only the missing shards,
+    and produces the byte-identical report an uninterrupted campaign
+    would have — the fleet simulator itself behaves like an intermittent
+    system. *)
+
+type device = {
+  id : int;
+  workload : string;
+  scheme : Gecko_core.Scheme.t;
+  board : Spec.board_kind;
+  x : float;
+  y : float;
+  seed : int;
+}
+
+val elaborate : Spec.t -> device array * Field.t
+(** Deterministic: depends only on the spec. *)
+
+val run_device :
+  spec:Spec.t -> field:Field.t -> device -> Agg.t * Gecko_obs.Metrics.registry
+(** Simulate one device under its local attack schedule; returns its
+    aggregate and its run-metrics registry. *)
+
+type shard_result = {
+  sr_id : int;
+  sr_agg : Agg.t;
+  sr_per_scheme : (string * Agg.t) list;
+  sr_per_workload : (string * Agg.t) list;
+  sr_metrics : Gecko_obs.Json.t;
+      (** Shard metrics registry, [Metrics.to_persist] form. *)
+}
+
+val run_shard :
+  spec:Spec.t -> field:Field.t -> devices:device array -> int -> shard_result
+
+val shard_to_json : shard_result -> Gecko_obs.Json.t
+val shard_of_json : Gecko_obs.Json.t -> shard_result
+(** Exact round-trip; raises [Invalid_argument] on malformed input. *)
+
+(** {2 Snapshots} *)
+
+val snapshot_schema : string
+(** ["gecko.fleet/1"]. *)
+
+val snapshot_json : Spec.t -> shard_result list -> Gecko_obs.Json.t
+
+val parse_snapshot : string -> Spec.t * shard_result list
+(** Validates the schema, the spec and shard-id sanity (in-range, no
+    duplicates).  Raises [Invalid_argument] on any violation. *)
+
+val load_snapshot : string -> Spec.t * shard_result list
+(** {!parse_snapshot} of a file's contents.  Raises [Sys_error] on IO
+    failure. *)
+
+val report_of_shards : Spec.t -> shard_result list -> Report.t
+(** Merge in shard-id order (the one true reduction). *)
+
+(** {2 Running} *)
+
+type result = {
+  report : Report.t option;
+      (** [None] when [max_shards] stopped the campaign early. *)
+  completed_shards : int;
+  total_shards : int;
+  resumed_shards : int;  (** Shards taken from the snapshot, not re-run. *)
+  devices_run : int;  (** Devices simulated by this invocation. *)
+  instructions_run : int;
+      (** Simulated instructions retired by this invocation (feeds the
+          bench harness's fleet [sim_instr_per_sec]). *)
+}
+
+val run :
+  ?snapshot_path:string ->
+  ?resume:Spec.t * shard_result list ->
+  ?max_shards:int ->
+  Spec.t ->
+  result
+(** Run (or continue) a campaign.  [snapshot_path] enables per-wave
+    checkpointing; [resume] supplies a loaded snapshot whose spec must
+    equal the requested one (raises [Invalid_argument] otherwise);
+    [max_shards] bounds how many new shards this invocation runs (for
+    controlled interruption).  Pool width comes from
+    {!Gecko_harness.Workbench.jobs}; results do not depend on it. *)

@@ -1,0 +1,92 @@
+open Gecko_emi
+module Rng = Gecko_util.Rng
+
+type attacker = {
+  waypoints : (float * float) array;  (* polyline start + turns *)
+  seg_len : float array;  (* seg_len.(i) = |waypoints.(i+1) - waypoints.(i)| *)
+  speed : float;
+}
+
+type t = {
+  attackers : attacker list;
+  duration : float;
+  steps : int;
+  freq_mhz : float;
+  power_dbm : float;
+  range_m : float;
+}
+
+let dist (x0, y0) (x1, y1) = Float.hypot (x1 -. x0) (y1 -. y0)
+
+(* A random-waypoint patrol: uniform waypoints in the area, walked at
+   constant speed.  Enough waypoints are drawn up front to cover the whole
+   campaign duration, so evaluation never runs off the end. *)
+let make_attacker rng ~area_m ~speed ~duration =
+  let point () = (Rng.float rng area_m, Rng.float rng area_m) in
+  let need = (speed *. duration) +. (2. *. area_m) in
+  let rec grow acc covered last =
+    if covered >= need then List.rev acc
+    else
+      let p = point () in
+      grow (p :: acc) (covered +. dist last p) p
+  in
+  let start = point () in
+  let pts = Array.of_list (grow [ start ] 0. start) in
+  let segs =
+    Array.init
+      (max 0 (Array.length pts - 1))
+      (fun i -> dist pts.(i) pts.(i + 1))
+  in
+  { waypoints = pts; seg_len = segs; speed }
+
+let make ~attackers ~area_m ~speed ~duration ~steps ~freq_mhz ~power_dbm
+    ~range_m rng =
+  let atks = List.init attackers (fun _ -> make_attacker rng ~area_m ~speed ~duration) in
+  { attackers = atks; duration; steps; freq_mhz; power_dbm; range_m }
+
+let position a t =
+  let rec walk i d =
+    if i >= Array.length a.seg_len then a.waypoints.(Array.length a.waypoints - 1)
+    else if d <= a.seg_len.(i) then begin
+      let x0, y0 = a.waypoints.(i) and x1, y1 = a.waypoints.(i + 1) in
+      let f = if a.seg_len.(i) <= 0. then 0. else d /. a.seg_len.(i) in
+      (x0 +. (f *. (x1 -. x0)), y0 +. (f *. (y1 -. y0)))
+    end
+    else walk (i + 1) (d -. a.seg_len.(i))
+  in
+  walk 0 (a.speed *. Float.max 0. t)
+
+let nearest_distance t ~x ~y ~time =
+  List.fold_left
+    (fun acc a -> Float.min acc (dist (x, y) (position a time)))
+    infinity t.attackers
+
+(* The device's local view of the campaign: one schedule window per field
+   step in which some attacker is within coupling range, carrying a remote
+   attack at the distance of the nearest attacker at the step midpoint.
+   Purely a function of (field, position), so any shard can recompute it. *)
+let schedule_at t ~x ~y =
+  if t.attackers = [] then Schedule.empty
+  else begin
+    let dt = t.duration /. float_of_int t.steps in
+    let windows = ref [] in
+    for k = t.steps - 1 downto 0 do
+      let t0 = float_of_int k *. dt in
+      let d = nearest_distance t ~x ~y ~time:(t0 +. (dt /. 2.)) in
+      if d <= t.range_m then begin
+        let attack =
+          Attack.remote
+            ~distance_m:(Float.max 0.05 d)
+            (Signal.make ~freq_mhz:t.freq_mhz ~power_dbm:t.power_dbm)
+        in
+        windows :=
+          Schedule.window ~t_start:t0 ~t_end:(t0 +. dt) attack :: !windows
+      end
+    done;
+    Schedule.normalize !windows
+  end
+
+let exposure_seconds schedule =
+  List.fold_left
+    (fun acc (w : Schedule.window) -> acc +. (w.Schedule.t_end -. w.Schedule.t_start))
+    0. (Schedule.windows schedule)

@@ -1,0 +1,39 @@
+(** The shared spatial EMI environment of a campaign.
+
+    One or more mobile attackers patrol the square deployment area on
+    random-waypoint paths drawn from the campaign RNG; every device
+    derives its local attack schedule from the distance to the nearest
+    attacker over time, through the distance-dependent coupling already
+    modelled by {!Gecko_emi.Attack.remote}.  The field is built once per
+    campaign and is immutable afterwards, so shards can evaluate it
+    concurrently and a device's schedule does not depend on shard
+    assignment or execution order. *)
+
+type t
+
+val make :
+  attackers:int ->
+  area_m:float ->
+  speed:float ->
+  duration:float ->
+  steps:int ->
+  freq_mhz:float ->
+  power_dbm:float ->
+  range_m:float ->
+  Gecko_util.Rng.t ->
+  t
+(** Draw attacker trajectories from the given RNG stream (consumed
+    deterministically). *)
+
+val nearest_distance : t -> x:float -> y:float -> time:float -> float
+(** Distance (m) from a point to the nearest attacker at a simulated
+    time; [infinity] with no attackers. *)
+
+val schedule_at : t -> x:float -> y:float -> Gecko_emi.Schedule.t
+(** The local attack schedule of a device at position [(x, y)]:
+    piecewise-constant over [steps] field samples, one window (remote
+    attack at the nearest-attacker distance) per sample within
+    [range_m]. *)
+
+val exposure_seconds : Gecko_emi.Schedule.t -> float
+(** Total scheduled attack-window seconds. *)

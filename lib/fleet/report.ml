@@ -1,0 +1,105 @@
+module Json = Gecko_obs.Json
+module Metrics = Gecko_obs.Metrics
+module Acc = Gecko_util.Stats.Acc
+module Table = Gecko_util.Table
+
+type t = {
+  spec : Spec.t;
+  total : Agg.t;
+  per_scheme : (string * Agg.t) list;  (* sorted by slug *)
+  per_workload : (string * Agg.t) list;  (* sorted by name *)
+  metrics_persist : Json.t;  (* merged registry, Metrics.to_persist form *)
+}
+
+let schema = "gecko.fleet-report/1"
+
+let group_to_json groups =
+  Json.Assoc (List.map (fun (k, a) -> (k, Agg.to_json a)) groups)
+
+let group_of_json name j =
+  match j with
+  | Json.Assoc kvs -> List.map (fun (k, v) -> (k, Agg.of_json v)) kvs
+  | _ -> invalid_arg ("Fleet.Report.of_json: " ^ name ^ " is not an object")
+
+let to_json t =
+  Json.Assoc
+    [
+      ("schema", Json.String schema);
+      ("spec", Spec.to_json t.spec);
+      ("total", Agg.to_json t.total);
+      ("per_scheme", group_to_json t.per_scheme);
+      ("per_workload", group_to_json t.per_workload);
+      ("metrics", Metrics.to_json (Metrics.of_persist t.metrics_persist));
+    ]
+
+let of_json j =
+  let bad msg = invalid_arg ("Fleet.Report.of_json: " ^ msg) in
+  let field k =
+    match Json.member k j with Some v -> v | None -> bad ("missing " ^ k)
+  in
+  (match field "schema" with
+  | Json.String s when s = schema -> ()
+  | Json.String s -> bad (Printf.sprintf "schema %S, expected %S" s schema)
+  | _ -> bad "schema is not a string");
+  {
+    spec = Spec.of_json (field "spec");
+    total = Agg.of_json (field "total");
+    per_scheme = group_of_json "per_scheme" (field "per_scheme");
+    per_workload = group_of_json "per_workload" (field "per_workload");
+    (* Lossy: the human-facing metrics export does not round-trip, so a
+       parsed report carries an empty registry.  Only the campaign
+       snapshot (not the report) needs exact metrics persistence. *)
+    metrics_persist = Metrics.to_persist (Metrics.create ());
+  }
+
+let group_table ~title ~key_header groups =
+  let tbl =
+    Table.create ~title
+      ~header:
+        [ key_header; "devs"; "atk"; "compl"; "ckpts"; "fail%"; "rollbk";
+          "corrupt"; "detect"; "lat ms"; "R mean"; "stall s" ]
+      ()
+  in
+  List.iter
+    (fun (key, (a : Agg.t)) ->
+      Table.add_row tbl
+        [
+          key;
+          string_of_int a.Agg.devices;
+          string_of_int a.Agg.attacked_devices;
+          string_of_int a.Agg.completions;
+          string_of_int a.Agg.jit_checkpoints;
+          Table.cell_pct (Agg.checkpoint_failure_rate a);
+          string_of_int a.Agg.rollbacks;
+          string_of_int a.Agg.corruptions;
+          string_of_int a.Agg.detections;
+          (if Acc.is_empty a.Agg.detect_latency then "-"
+           else Printf.sprintf "%.2f" (1e3 *. Acc.mean a.Agg.detect_latency));
+          Table.cell_pct (Acc.mean a.Agg.progress);
+          Table.cell_f a.Agg.stalled_s;
+        ])
+    groups;
+  Table.render tbl
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let s = t.spec in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fleet campaign: %d devices, %d attacker(s) at %.0f dBm / %.0f MHz \
+        sweeping a %.0f m field, %.3f s each, seed %d\n"
+       s.Spec.devices s.Spec.attackers s.Spec.power_dbm s.Spec.freq_mhz
+       s.Spec.area_m s.Spec.duration s.Spec.seed);
+  let a = t.total in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "attacked devices %d/%d | exposure %.2f device-s | instructions %d | \
+        energy drained %.3g J\n\n"
+       a.Agg.attacked_devices a.Agg.devices a.Agg.exposure_s a.Agg.instructions
+       a.Agg.energy_drained_j);
+  Buffer.add_string buf
+    (group_table ~title:"per recovery scheme" ~key_header:"scheme" t.per_scheme);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (group_table ~title:"per workload" ~key_header:"workload" t.per_workload);
+  Buffer.contents buf

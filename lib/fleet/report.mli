@@ -1,0 +1,31 @@
+(** The merged campaign report: totals plus per-scheme and per-workload
+    aggregates and the fleet-wide merged metrics registry.
+
+    Built exclusively from shard aggregates merged in shard order, so its
+    JSON and ASCII renderings are byte-identical for the same spec at any
+    [--jobs] and any shard size, and identical between an uninterrupted
+    campaign and one resumed from a snapshot. *)
+
+type t = {
+  spec : Spec.t;
+  total : Agg.t;
+  per_scheme : (string * Agg.t) list;  (** Sorted by scheme slug. *)
+  per_workload : (string * Agg.t) list;  (** Sorted by workload name. *)
+  metrics_persist : Gecko_obs.Json.t;
+      (** Fleet-merged {!Gecko_obs.Metrics} registry in
+          [Metrics.to_persist] form. *)
+}
+
+val schema : string
+(** ["gecko.fleet-report/1"]. *)
+
+val to_json : t -> Gecko_obs.Json.t
+
+val of_json : Gecko_obs.Json.t -> t
+(** Parses the aggregate sections (the human-facing [metrics] export is
+    not round-trippable and comes back empty).  Raises
+    [Invalid_argument] on malformed input or a schema mismatch. *)
+
+val render : t -> string
+(** ASCII summary: campaign header plus per-scheme and per-workload
+    tables. *)

@@ -14,7 +14,10 @@
       export), metrics registry, compiler/runtime profiling;
     - {!Energy}, {!Emi}, {!Monitor}, {!Devices}: the physical substrates;
     - {!Workloads}: the benchmark suite;
-    - {!Experiments}: every table/figure of the paper's evaluation.
+    - {!Experiments}: every table/figure of the paper's evaluation;
+    - {!Fleet}: the deterministic fleet-scale campaign simulator
+      (thousands of devices, a shared spatial EMI field, sharded
+      execution with mergeable aggregates, snapshot/resume).
 
     Quickstart:
     {[
@@ -50,5 +53,6 @@ module Workloads = struct
 end
 
 module Faultinject = Gecko_faultinject
+module Fleet = Gecko_fleet
 module Experiments = Gecko_harness.Experiments
 module Workbench = Gecko_harness.Workbench

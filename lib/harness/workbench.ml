@@ -33,25 +33,46 @@ let sense_app () =
   B.finish b
 
 (* The memo table is shared by the worker domains of the experiment
-   pool, so every lookup and insert holds [cache_mutex].  Compilation
-   itself also runs under the lock: it is cheap next to simulation, it
-   is deterministic, and holding the lock keeps two workers from
-   compiling the same program twice. *)
+   pool — and, since the fleet simulator shards also compile through
+   here, by every fleet campaign shard — so every lookup and insert
+   holds [cache_mutex].  Compilation itself also runs under the lock: it
+   is cheap next to simulation, it is deterministic, and holding the
+   lock keeps two workers from compiling the same program twice (the
+   loser of the race counts a hit, so miss totals equal the number of
+   distinct keys regardless of pool size). *)
 let cache : (string * Core.Scheme.t, Link.image * Core.Meta.t) Hashtbl.t =
   Hashtbl.create 16
 
 let cache_mutex = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
 
 let compiled scheme (prog : Cfg.program) =
   let key = (prog.Cfg.pname, scheme) in
   Mutex.protect cache_mutex (fun () ->
       match Hashtbl.find_opt cache key with
-      | Some v -> v
+      | Some v ->
+          incr cache_hits;
+          v
       | None ->
+          incr cache_misses;
           let p, meta = Core.Pipeline.compile scheme prog in
           let v = (Link.link p, meta) in
           Hashtbl.replace cache key v;
           v)
+
+let cache_counts () =
+  Mutex.protect cache_mutex (fun () -> (!cache_hits, !cache_misses))
+
+let record_cache_metrics reg =
+  let hits, misses = cache_counts () in
+  let module Mx = Gecko_obs.Metrics in
+  let set name v =
+    let c = Mx.counter reg name in
+    Mx.incr ~by:(v - Mx.counter_value c) c
+  in
+  set "workbench.compile_cache_hits" hits;
+  set "workbench.compile_cache_misses" misses
 
 (* --- experiment pool -------------------------------------------------- *)
 

@@ -12,8 +12,21 @@ val sense_app : unit -> Cfg.program
 val compiled :
   Gecko_core.Scheme.t -> Cfg.program -> Link.image * Gecko_core.Meta.t
 (** Compile and link (memoized on program name + scheme).  Thread-safe:
-    the memo table is shared with the experiment pool's worker domains
-    and guarded by a mutex. *)
+    the memo table is shared with the experiment pool's worker domains —
+    and with every fleet campaign shard, so a workload×scheme pair
+    compiles once per process, not once per device — and guarded by a
+    mutex. *)
+
+val cache_counts : unit -> int * int
+(** Process-lifetime [(hits, misses)] of the shared compile cache.
+    Misses count distinct (program, scheme) keys compiled regardless of
+    pool size; campaign throughput reporting takes deltas around a
+    run. *)
+
+val record_cache_metrics : Gecko_obs.Metrics.registry -> unit
+(** Publish {!cache_counts} as the [workbench.compile_cache_hits] /
+    [workbench.compile_cache_misses] counters of a metrics registry
+    (setting them to the current totals, idempotently). *)
 
 val jobs : unit -> int
 (** Effective parallelism of the experiment pool: the value given to

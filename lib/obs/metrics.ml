@@ -142,6 +142,52 @@ let buckets h =
     h.counts;
   under @ List.rev !rest
 
+(* --- merge ------------------------------------------------------------ *)
+
+let merge_gauge_value a b =
+  if Float.is_nan b then a else if Float.is_nan a then b else Float.max a b
+
+let merge_min a b =
+  if Float.is_nan b then a else if Float.is_nan a then b else Float.min a b
+
+let merge_max a b =
+  if Float.is_nan b then a else if Float.is_nan a then b else Float.max a b
+
+let merge_hist_into (dst : histogram) (src : histogram) =
+  if dst.base <> src.base || dst.lowest <> src.lowest then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics.merge_into: histogram %S bucketing mismatch (base %g/%g, \
+          lowest %g/%g)"
+         dst.h_name dst.base src.base dst.lowest src.lowest);
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  dst.underflow <- dst.underflow + src.underflow;
+  dst.h_min <- merge_min dst.h_min src.h_min;
+  dst.h_max <- merge_max dst.h_max src.h_max;
+  if Array.length src.counts > Array.length dst.counts then begin
+    let counts' = Array.make (Array.length src.counts) 0 in
+    Array.blit dst.counts 0 counts' 0 (Array.length dst.counts);
+    dst.counts <- counts'
+  end;
+  Array.iteri (fun i c -> if c <> 0 then dst.counts.(i) <- dst.counts.(i) + c)
+    src.counts
+
+let merge_into (dst : registry) (src : registry) =
+  Hashtbl.iter
+    (fun name i ->
+      match i with
+      | C c ->
+          let d = counter dst name in
+          d.count <- d.count + c.count
+      | G g ->
+          let d = gauge dst name in
+          d.value <- merge_gauge_value d.value g.value
+      | H h ->
+          let d = histogram ~base:h.base ~lowest:h.lowest dst name in
+          merge_hist_into d h)
+    src
+
 (* --- exporters -------------------------------------------------------- *)
 
 let sorted_instruments (reg : registry) =
@@ -186,6 +232,97 @@ let to_json reg =
         Json.Assoc
           (pick (function n, H h -> Some (n, hist_json h) | _ -> None)) );
     ]
+
+(* Exact persistence: unlike [to_json] (a lossy human-facing export),
+   [to_persist]/[of_persist] round-trip a registry bit-for-bit for finite
+   values ([%.17g] floats; nan/inf degrade to JSON null and restore as
+   nan).  The fleet campaign snapshot leans on this: a resumed campaign
+   must merge to the byte-identical report. *)
+
+let persist_float f = if Float.is_nan f then Json.Null else Json.Float f
+
+let restore_float = function
+  | Json.Null -> Float.nan
+  | j -> (
+      match Json.to_float_opt j with
+      | Some f -> f
+      | None -> invalid_arg "Metrics.of_persist: expected a number")
+
+let to_persist reg =
+  let items = sorted_instruments reg in
+  let pick f = List.filter_map f items in
+  Json.Assoc
+    [
+      ( "counters",
+        Json.Assoc
+          (pick (function n, C c -> Some (n, Json.Int c.count) | _ -> None)) );
+      ( "gauges",
+        Json.Assoc
+          (pick (function n, G g -> Some (n, persist_float g.value) | _ -> None))
+      );
+      ( "histograms",
+        Json.Assoc
+          (pick (function
+            | n, H h ->
+                Some
+                  ( n,
+                    Json.Assoc
+                      [
+                        ("base", Json.Float h.base);
+                        ("lowest", Json.Float h.lowest);
+                        ("n", Json.Int h.n);
+                        ("sum", persist_float h.sum);
+                        ("underflow", Json.Int h.underflow);
+                        ("min", persist_float h.h_min);
+                        ("max", persist_float h.h_max);
+                        ( "counts",
+                          Json.List
+                            (Array.to_list
+                               (Array.map (fun c -> Json.Int c) h.counts)) );
+                      ] )
+            | _ -> None)) );
+    ]
+
+let of_persist j =
+  let bad msg = invalid_arg ("Metrics.of_persist: " ^ msg) in
+  let obj name =
+    match Json.member name j with
+    | Some (Json.Assoc kvs) -> kvs
+    | Some _ -> bad (name ^ " is not an object")
+    | None -> bad ("missing " ^ name)
+  in
+  let int_of = function Json.Int i -> i | _ -> bad "expected an integer" in
+  let reg = create () in
+  List.iter
+    (fun (name, v) ->
+      let c = counter reg name in
+      c.count <- int_of v)
+    (obj "counters");
+  List.iter
+    (fun (name, v) ->
+      let g = gauge reg name in
+      g.value <- restore_float v)
+    (obj "gauges");
+  List.iter
+    (fun (name, v) ->
+      let field k =
+        match Json.member k v with
+        | Some x -> x
+        | None -> bad ("histogram " ^ name ^ " lacks " ^ k)
+      in
+      let h = histogram ~base:(restore_float (field "base"))
+          ~lowest:(restore_float (field "lowest")) reg name
+      in
+      h.n <- int_of (field "n");
+      h.sum <- restore_float (field "sum");
+      h.underflow <- int_of (field "underflow");
+      h.h_min <- restore_float (field "min");
+      h.h_max <- restore_float (field "max");
+      (match field "counts" with
+      | Json.List cs -> h.counts <- Array.of_list (List.map int_of cs)
+      | _ -> bad ("histogram " ^ name ^ " counts is not a list")))
+    (obj "histograms");
+  reg
 
 let csv_float f =
   if Float.is_finite f then Printf.sprintf "%.9g" f else "nan"

@@ -56,6 +56,34 @@ val buckets : histogram -> (float * float * int) list
 (** Non-empty buckets as [(lo, hi, count)], ascending; the underflow
     bucket reports as [(0., lowest, n)]. *)
 
+(** {2 Merge}
+
+    Registries form a commutative monoid under {!merge_into} with the
+    empty registry as identity: counters add, gauges keep the maximum of
+    the set values (unset [nan] gauges are the identity), histograms add
+    bucket-wise.  Integer fields merge exactly in any order; float sums
+    are exactly commutative and associative up to rounding, so
+    deterministic reducers (the fleet campaign) merge shards in a fixed
+    order.  Used by sharded simulations to aggregate locally and reduce
+    at the end. *)
+
+val merge_into : registry -> registry -> unit
+(** [merge_into dst src] folds every instrument of [src] into [dst],
+    interning missing names.  Raises [Invalid_argument] if an
+    instrument name is registered with a different kind, or a histogram
+    with different [base]/[lowest], in the two registries. *)
+
+(** {2 Persistence}
+
+    Exact round-trip for campaign snapshots: [of_persist (to_persist r)]
+    observes equal to [r] (floats print as [%.17g]; [nan]/infinite
+    values degrade to JSON [null] and restore as [nan]). *)
+
+val to_persist : registry -> Json.t
+
+val of_persist : Json.t -> registry
+(** Raises [Invalid_argument] on malformed input. *)
+
 (** {2 Exporters} *)
 
 val to_json : registry -> Json.t

@@ -67,3 +67,54 @@ let summarize xs =
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n
     s.mean s.stddev s.min s.median s.max
+
+(* --- mergeable streaming accumulator ---------------------------------- *)
+
+module Acc = struct
+  type t = {
+    n : int;
+    sum : float;
+    sumsq : float;
+    min_v : float;  (* +inf when empty, so Float.min is the merge *)
+    max_v : float;  (* -inf when empty *)
+  }
+
+  let empty = { n = 0; sum = 0.; sumsq = 0.; min_v = infinity; max_v = neg_infinity }
+
+  let is_empty t = t.n = 0
+
+  let add t x =
+    {
+      n = t.n + 1;
+      sum = t.sum +. x;
+      sumsq = t.sumsq +. (x *. x);
+      min_v = Float.min t.min_v x;
+      max_v = Float.max t.max_v x;
+    }
+
+  let of_list xs = List.fold_left add empty xs
+
+  let merge a b =
+    {
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      sumsq = a.sumsq +. b.sumsq;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+  let stddev t =
+    if t.n < 2 then 0.
+    else
+      let m = mean t in
+      (* Population variance from the running moments; clamp the tiny
+         negative values cancellation can produce. *)
+      sqrt (Float.max 0. ((t.sumsq /. float_of_int t.n) -. (m *. m)))
+
+  let minimum t = if t.n = 0 then 0. else t.min_v
+  let maximum t = if t.n = 0 then 0. else t.max_v
+end

@@ -46,3 +46,42 @@ type summary = {
 val summarize : float list -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Mergeable streaming summary: a commutative monoid over constant-space
+    accumulators, so shards of a fleet campaign can aggregate locally and
+    reduce at the end.  [merge] is exactly commutative; it is associative
+    up to float-addition rounding in [sum]/[sumsq] (exact whenever the
+    inputs are dyadic rationals of bounded magnitude, and count/min/max
+    are always exact), so deterministic reductions fold shards in a fixed
+    order.  Empty-input policy matches the rest of this module: the
+    aggregates of {!Acc.empty} are [0.]. *)
+module Acc : sig
+  type t = {
+    n : int;
+    sum : float;
+    sumsq : float;
+    min_v : float;  (** [+inf] when empty. *)
+    max_v : float;  (** [-inf] when empty. *)
+  }
+
+  val empty : t
+  (** The identity of {!merge}. *)
+
+  val is_empty : t -> bool
+  val add : t -> float -> t
+  val of_list : float list -> t
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if their observations were
+      concatenated. *)
+
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  (** Population standard deviation from the running moments; [0.] on
+      fewer than two observations. *)
+
+  val minimum : t -> float
+  val maximum : t -> float
+end

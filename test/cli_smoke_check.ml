@@ -62,16 +62,42 @@ let check_fuzz path =
   | Some n -> fail "%s: smoke fuzz found %g failures on a clean scheme" path n
   | None -> fail "%s: failures_total is not a number" path
 
+let check_fleet path =
+  let j = parse path in
+  (match Json.to_string_opt (need path j "schema") with
+  | Some "gecko.fleet-report/1" -> ()
+  | _ -> fail "%s: bad schema tag" path);
+  let spec = need path j "spec" in
+  let total = need path j "total" in
+  let int_of k v =
+    match Json.to_float_opt (need path v k) with
+    | Some f -> int_of_float f
+    | None -> fail "%s: %s is not a number" path k
+  in
+  let devices = int_of "devices" spec in
+  if int_of "devices" total <> devices then
+    fail "%s: total.devices disagrees with spec.devices" path;
+  if int_of "instructions" total <= 0 then
+    fail "%s: fleet simulated no instructions" path;
+  List.iter
+    (fun k ->
+      match need path j k with
+      | Json.Assoc (_ :: _) -> ()
+      | _ -> fail "%s: %s missing or empty" path k)
+    [ "per_scheme"; "per_workload"; "metrics" ]
+
 let check_run_log path =
   let s = read_file path in
   if String.length s = 0 then fail "%s: empty CLI output" path
 
 let () =
   match Array.to_list Sys.argv with
-  | [ _; trace; metrics; fuzz; runlog ] ->
+  | [ _; trace; metrics; fuzz; runlog; fleet; heartbeat ] ->
       check_trace trace;
       check_metrics metrics;
       check_fuzz fuzz;
       check_run_log runlog;
+      check_fleet fleet;
+      check_run_log heartbeat;
       print_endline "cli smoke artifacts ok"
-  | _ -> fail "usage: cli_smoke_check TRACE METRICS FUZZ RUNLOG"
+  | _ -> fail "usage: cli_smoke_check TRACE METRICS FUZZ RUNLOG FLEET HEARTBEAT"
