@@ -27,7 +27,16 @@ let fidelity =
         other;
       E.Quick
 
-let now () = Unix.gettimeofday ()
+(* Every wall-clock figure that lands in BENCH_results.json comes from
+   the process-wide Gecko_util.Clock, pointed here at the OS monotonic
+   clock (bechamel's CLOCK_MONOTONIC binding) — NTP steps and
+   gettimeofday jumps cannot bend a benchmark number.  Gecko_fleet's
+   internal telemetry timing goes through the same source. *)
+let () =
+  Gecko_util.Clock.set_source (fun () ->
+      Int64.to_float (Monotonic_clock.now ()) /. 1e9)
+
+let now () = Gecko_util.Clock.now ()
 
 let banner name =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') name
@@ -171,7 +180,12 @@ let fleet_bench () =
   let devices = match fidelity with E.Quick -> 64 | E.Full -> 512 in
   let spec = Gecko_fleet.Spec.make ~devices ~attackers:2 ~seed:1 () in
   let t0 = now () in
-  let r = Gecko_fleet.Campaign.run spec in
+  (* Flight recorders on for every device (telemetry armed, no stream
+     file): the headline throughput includes the observability tax. *)
+  let r =
+    Gecko_fleet.Campaign.run
+      ~telemetry:Gecko_fleet.Telemetry.default_config spec
+  in
   let wall = now () -. t0 in
   let instr = float_of_int r.Gecko_fleet.Campaign.instructions_run in
   let devices_per_sec = float_of_int devices /. Float.max wall 1e-9 in

@@ -614,8 +614,41 @@ let fleet_cmd =
              combine with $(b,--snapshot) and finish later with \
              $(b,--resume)).")
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Stream live campaign telemetry to FILE as \
+             gecko.fleet-telemetry/1 JSONL: a header, one record per \
+             completed shard with the cumulative merge, a final record, \
+             and one clearly-marked nondeterministic record carrying the \
+             wall-clock rates.  Every device carries a flight recorder; \
+             the worst $(b,--top-k) devices ride along as outlier records \
+             with their flight dumps.  All records except the \
+             nondeterministic one are byte-identical at any $(b,--jobs).")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 8
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Outlier records kept in the telemetry: the K worst devices \
+             by badness score, each with the coordinates `gecko replay` \
+             needs.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Force the live stderr progress line (default: on when \
+             $(b,--telemetry) is set and stderr is a terminal).")
+  in
   let run devices attackers seed jobs duration area shard_size workloads
-      schemes power freq out snapshot resume max_shards =
+      schemes power freq out snapshot resume max_shards telemetry_out top_k
+      progress =
     (match jobs with
     | Some n when n >= 1 -> Gecko.Workbench.set_jobs n
     | Some n ->
@@ -645,14 +678,29 @@ let fleet_cmd =
     let snapshot_path =
       match (snapshot, resume) with Some p, _ -> Some p | None, r -> r
     in
+    if top_k < 0 then fail_invalid "--top-k must be >= 0";
+    let telemetry =
+      match (telemetry_out, progress) with
+      | None, false -> None
+      | path, forced ->
+          Some
+            {
+              F.Telemetry.default_config with
+              F.Telemetry.tel_path = path;
+              tel_top_k = top_k;
+              tel_progress =
+                forced || (path <> None && Unix.isatty Unix.stderr);
+            }
+    in
     let hits0, misses0 = Gecko.Workbench.cache_counts () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Gecko.Util.Clock.now () in
     let r =
       try
-        F.Campaign.run ?snapshot_path ?resume:resume_state ?max_shards spec
+        F.Campaign.run ?snapshot_path ?resume:resume_state ?max_shards
+          ?telemetry spec
       with Invalid_argument msg -> fail_invalid msg
     in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Gecko.Util.Clock.elapsed t0 in
     let hits1, misses1 = Gecko.Workbench.cache_counts () in
     (match r.F.Campaign.report with
     | Some report ->
@@ -670,6 +718,24 @@ let fleet_cmd =
           (match snapshot_path with
           | Some p -> Printf.sprintf " (resume with --resume %s)" p
           | None -> ""));
+    (match r.F.Campaign.telemetry with
+    | Some t when t.F.Telemetry.outliers <> [] ->
+        Printf.printf "top outliers (badness score; drill down with `gecko \
+                       replay`):\n";
+        List.iter
+          (fun (o : F.Telemetry.outlier) ->
+            Printf.printf
+              "  device %4d  score %10.1f  %s/%s  corruptions %d | \
+               ckpt failures %d | brownouts %d\n"
+              o.F.Telemetry.o_device o.F.Telemetry.o_score
+              o.F.Telemetry.o_workload o.F.Telemetry.o_scheme
+              o.F.Telemetry.o_corruptions o.F.Telemetry.o_ckpt_failures
+              o.F.Telemetry.o_brownouts)
+          t.F.Telemetry.outliers
+    | _ -> ());
+    (match telemetry_out with
+    | Some p -> Printf.printf "telemetry -> %s\n" p
+    | None -> ());
     Printf.printf
       "%d devices in %.2f s wall (%d resumed shards): %.1f devices/s, \
        %.3e sim instr/s | compile cache %d hits / %d misses\n"
@@ -686,7 +752,247 @@ let fleet_cmd =
     Term.(
       const run $ devices $ attackers $ seed $ jobs $ duration $ area
       $ shard_size $ workloads $ schemes $ power $ freq $ out $ snapshot
-      $ resume $ max_shards)
+      $ resume $ max_shards $ telemetry_out $ top_k $ progress)
+
+(* --- replay ------------------------------------------------------------ *)
+
+(* Drill down from a fleet-wide anomaly to a single-device repro: given
+   the campaign spec (bare, or embedded in a fleet report, snapshot or
+   telemetry stream), re-elaborate one device and re-run it with the
+   full forensics kit attached.  When the input is a telemetry stream,
+   the replayed outlier record is checked byte-for-byte against the
+   recorded one. *)
+let replay_cmd =
+  let module F = Gecko.Fleet in
+  let module Json = Gecko.Obs.Json in
+  let campaign =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "campaign" ] ~docv:"FILE"
+          ~doc:
+            "The campaign to replay from: a bare fleet spec JSON, a \
+             gecko.fleet-report/1 report, a gecko.fleet/1 snapshot, or a \
+             gecko.fleet-telemetry/1 JSONL stream.  A stream also supplies \
+             the telemetry config and the recorded outlier records to \
+             verify against.")
+  in
+  let device =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "device" ] ~docv:"ID"
+          ~doc:
+            "Device id to replay.  Defaults to the top outlier when \
+             $(b,--campaign) is a telemetry stream.")
+  in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:"Write the replayed flight-recorder dump (gecko.flight/1).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the full execution trace as Chrome trace-event JSON \
+             (.jsonl for line-delimited records).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Dump run metrics as JSON (.csv for CSV, .prom for \
+                Prometheus text exposition).")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Print the last N flight-recorder events.")
+  in
+  let run campaign device flight_out trace_out metrics_out events =
+    let fail_invalid msg =
+      Printf.eprintf "gecko replay: %s\n" msg;
+      exit 1
+    in
+    let contents =
+      match In_channel.with_open_bin campaign In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg -> fail_invalid msg
+    in
+    (* The campaign file can be a single JSON document (bare spec,
+       report, snapshot) or a telemetry JSONL stream; a stream's first
+       line is its header. *)
+    let spec, config, recorded_final =
+      let parse_doc j =
+        match Option.bind (Json.member "schema" j) Json.to_string_opt with
+        | Some s
+          when s = F.Report.schema || s = F.Campaign.snapshot_schema -> (
+            match Json.member "spec" j with
+            | Some sj -> (F.Spec.of_json sj, None, None)
+            | None -> fail_invalid "campaign file has no spec member")
+        | Some s when s = F.Telemetry.stream_schema -> (
+            match Json.member "spec" j with
+            | Some sj ->
+                ( F.Spec.of_json sj,
+                  Option.map F.Telemetry.config_of_json
+                    (Json.member "config" j),
+                  None )
+            | None -> fail_invalid "telemetry header has no spec member")
+        | Some s -> fail_invalid (Printf.sprintf "unknown schema %S" s)
+        | None -> (F.Spec.of_json j, None, None)
+      in
+      match Json.parse contents with
+      | Ok j -> ( try parse_doc j with Invalid_argument m -> fail_invalid m)
+      | Error _ -> (
+          (* JSONL: parse line by line; find the header and the final
+             record. *)
+          let lines =
+            String.split_on_char '\n' contents
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.filter_map (fun l ->
+                   match Json.parse l with Ok j -> Some j | Error _ -> None)
+          in
+          match lines with
+          | [] -> fail_invalid "campaign file is neither JSON nor JSONL"
+          | header :: rest -> (
+              try
+                let spec, config, _ = parse_doc header in
+                let final =
+                  List.find_map
+                    (fun j ->
+                      Option.map F.Telemetry.of_json (Json.member "final" j))
+                    rest
+                in
+                (spec, config, final)
+              with Invalid_argument m -> fail_invalid m))
+    in
+    let device_id =
+      match (device, recorded_final) with
+      | Some id, _ -> id
+      | None, Some t -> (
+          match t.F.Telemetry.outliers with
+          | o :: _ -> o.F.Telemetry.o_device
+          | [] ->
+              fail_invalid
+                "no outliers in the telemetry stream; give --device")
+      | None, None -> fail_invalid "give --device (no telemetry outliers)"
+    in
+    let rp =
+      try F.Campaign.replay ?config ~device_id spec
+      with Invalid_argument m -> fail_invalid m
+    in
+    let d = rp.F.Campaign.rp_device in
+    let o = rp.F.Campaign.rp_outcome in
+    Printf.printf
+      "device %d: %s as %s on %s at (%.1f, %.1f) m, seed %d\n\
+      \  completions %d | reboots %d | JIT checkpoints %d (%d failed) | \
+       rollbacks %d\n\
+      \  brownouts %d | detections %d | corrupt resumes %d | final mode %s\n"
+      d.F.Campaign.id d.F.Campaign.workload
+      (Compiler.Scheme.to_string d.F.Campaign.scheme)
+      (F.Spec.board_slug d.F.Campaign.board)
+      d.F.Campaign.x d.F.Campaign.y d.F.Campaign.seed o.M.completions
+      o.M.reboots o.M.jit_checkpoints o.M.jit_checkpoint_failures
+      o.M.rollbacks o.M.brownouts o.M.detections o.M.corruptions
+      (Compiler.Policy.mode_to_string o.M.final_mode);
+    let fl = rp.F.Campaign.rp_flight in
+    Printf.printf "flight: %d of last %d events recorded (%d older dropped)\n"
+      (Gecko.Obs.Flight.length fl)
+      (Gecko.Obs.Flight.capacity fl)
+      (Gecko.Obs.Flight.dropped fl);
+    (match events with
+    | Some n ->
+        let entries = Gecko.Obs.Flight.entries fl in
+        let skip = max 0 (List.length entries - n) in
+        List.iteri
+          (fun i (e : Gecko.Obs.Flight.entry) ->
+            if i >= skip then
+              Printf.printf "  %.6f s  %-18s arg %-6d  %.3f V\n"
+                e.Gecko.Obs.Flight.e_t e.Gecko.Obs.Flight.e_ev
+                e.Gecko.Obs.Flight.e_arg e.Gecko.Obs.Flight.e_v)
+          entries
+    | None -> ());
+    (match flight_out with
+    | Some path ->
+        write_file path (Gecko.Obs.Flight.to_string fl ^ "\n");
+        Printf.printf "flight dump -> %s\n" path
+    | None -> ());
+    (match trace_out with
+    | Some path -> write_trace path rp.F.Campaign.rp_trace
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+        if Filename.check_suffix path ".prom" then begin
+          write_file path
+            (Gecko.Obs.Metrics.to_prometheus rp.F.Campaign.rp_metrics);
+          Printf.printf "metrics -> %s\n" path
+        end
+        else write_metrics path rp.F.Campaign.rp_metrics
+    | None -> ());
+    (* Verify the replayed contribution against the campaign's recorded
+       outlier record, when we have one. *)
+    match recorded_final with
+    | None -> ()
+    | Some t -> (
+        let outlier_json tel id =
+          List.find_opt
+            (fun (o : F.Telemetry.outlier) -> o.F.Telemetry.o_device = id)
+            tel.F.Telemetry.outliers
+        in
+        match outlier_json t device_id with
+        | None ->
+            Printf.printf
+              "device %d is not among the stream's top-%d outliers; nothing \
+               recorded to verify against\n"
+              device_id t.F.Telemetry.top_k
+        | Some recorded -> (
+            match outlier_json rp.F.Campaign.rp_telemetry device_id with
+            | None ->
+                Printf.eprintf
+                  "MISMATCH: replay of device %d produced no outlier record \
+                   but the campaign recorded one\n"
+                  device_id;
+                exit 1
+            | Some replayed ->
+                let js o =
+                  (* Compare through the persisted form: exactly what the
+                     stream carried. *)
+                  Json.to_string
+                    (F.Telemetry.to_json
+                       {
+                         (F.Telemetry.empty ~top_k:1) with
+                         F.Telemetry.outliers = [ o ];
+                       })
+                in
+                if js recorded = js replayed then
+                  Printf.printf
+                    "replay matches the campaign's recorded outlier record \
+                     (score %.1f)\n"
+                    recorded.F.Telemetry.o_score
+                else begin
+                  Printf.eprintf
+                    "MISMATCH: replayed outlier record differs from the \
+                     campaign's:\n  recorded: %s\n  replayed: %s\n"
+                    (js recorded) (js replayed);
+                  exit 1
+                end))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-run one device of a fleet campaign with \
+          trace, metrics and flight recorder attached")
+    Term.(
+      const run $ campaign $ device $ flight_out $ trace_out $ metrics_out
+      $ events)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -755,4 +1061,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; run_cmd; fuzz_cmd; fleet_cmd; experiment_cmd ]))
+          [
+            list_cmd; compile_cmd; run_cmd; fuzz_cmd; fleet_cmd; replay_cmd;
+            experiment_cmd;
+          ]))

@@ -57,7 +57,12 @@ let board_of = function
   | Spec.Attack_rig -> Board.attack_rig ()
   | Spec.Bench -> Board.default ()
 
-let run_device ~(spec : Spec.t) ~field (d : device) =
+(* The one device runner every path shares: the campaign proper (flight
+   recorder only, when telemetry is on), and [replay]'s full-forensics
+   re-run (trace + flight + metrics).  Identical machine options except
+   for the pure observers, so a replayed device retraces its campaign
+   run step for step. *)
+let run_device_full ?trace ?flight ~(spec : Spec.t) ~field (d : device) =
   let schedule = Field.schedule_at field ~x:d.x ~y:d.y in
   let image, meta = Workbench.compiled d.scheme ((W.find d.workload).W.build ()) in
   let reg = Metrics.create () in
@@ -72,6 +77,8 @@ let run_device ~(spec : Spec.t) ~field (d : device) =
         record_events = true;
         seed = d.seed;
         metrics = Some reg;
+        trace;
+        flight;
       }
   in
   let gauge name = Metrics.gauge_value (Metrics.gauge reg name) in
@@ -79,7 +86,33 @@ let run_device ~(spec : Spec.t) ~field (d : device) =
     Agg.of_device ~schedule ~energy_drained_j:(gauge "energy.drained_j")
       ~energy_sourced_j:(gauge "energy.sourced_j") o
   in
-  (agg, reg)
+  let latencies = Agg.detection_latencies ~schedule o in
+  (o, agg, reg, latencies)
+
+let device_telemetry (c : Telemetry.config) (d : device) ~latencies ~flight agg =
+  Telemetry.of_device ~weights:c.Telemetry.tel_weights
+    ~top_k:c.Telemetry.tel_top_k ~id:d.id ~seed:d.seed ~workload:d.workload
+    ~scheme:(Spec.scheme_slug d.scheme) ~board:(Spec.board_slug d.board)
+    ~x:d.x ~y:d.y ~latencies ~flight agg
+
+let run_device ?telemetry ~(spec : Spec.t) ~field (d : device) =
+  let flight =
+    Option.map
+      (fun (c : Telemetry.config) ->
+        Gecko_obs.Flight.create ~capacity:c.Telemetry.tel_flight_capacity ())
+      telemetry
+  in
+  let _o, agg, reg, latencies = run_device_full ?flight ~spec ~field d in
+  let tel =
+    Option.map
+      (fun c ->
+        (* The dump rides along only if the device scores as an outlier;
+           [Telemetry.of_device] drops it otherwise. *)
+        let dump = Option.map Gecko_obs.Flight.to_json flight in
+        device_telemetry c d ~latencies ~flight:dump agg)
+      telemetry
+  in
+  (agg, reg, tel)
 
 (* --- shards ----------------------------------------------------------- *)
 
@@ -89,6 +122,7 @@ type shard_result = {
   sr_per_scheme : (string * Agg.t) list;
   sr_per_workload : (string * Agg.t) list;
   sr_metrics : Json.t;  (* Metrics.to_persist of the shard registry *)
+  sr_telemetry : Telemetry.t option;  (* when the campaign ran with telemetry *)
 }
 
 let merge_groups groups =
@@ -110,15 +144,25 @@ let shard_devices (spec : Spec.t) (devices : device array) sid =
    locally: one Agg per scheme/workload group plus a shard-local metrics
    registry.  The shard result is a pure value; reduction happens later,
    in shard order, whatever the pool width. *)
-let run_shard ~spec ~field ~devices sid =
+let run_shard ?telemetry ~spec ~field ~devices sid =
   let reg = Metrics.create () in
   let agg = ref Agg.empty in
   let per_scheme = ref [] and per_workload = ref [] in
+  let tel =
+    ref
+      (Option.map
+         (fun (c : Telemetry.config) ->
+           Telemetry.empty ~top_k:c.Telemetry.tel_top_k)
+         telemetry)
+  in
   Array.iter
     (fun d ->
-      let a, dev_reg = run_device ~spec ~field d in
+      let a, dev_reg, dev_tel = run_device ?telemetry ~spec ~field d in
       Metrics.merge_into reg dev_reg;
       agg := Agg.merge !agg a;
+      (match (!tel, dev_tel) with
+      | Some acc, Some t -> tel := Some (Telemetry.merge acc t)
+      | _ -> ());
       per_scheme := (Spec.scheme_slug d.scheme, a) :: !per_scheme;
       per_workload := (d.workload, a) :: !per_workload)
     (shard_devices spec devices sid);
@@ -128,11 +172,12 @@ let run_shard ~spec ~field ~devices sid =
     sr_per_scheme = merge_groups !per_scheme;
     sr_per_workload = merge_groups !per_workload;
     sr_metrics = Metrics.to_persist reg;
+    sr_telemetry = !tel;
   }
 
 let shard_to_json sr =
   Json.Assoc
-    [
+    ([
       ("shard", Json.Int sr.sr_id);
       ("agg", Agg.to_json sr.sr_agg);
       ( "per_scheme",
@@ -143,6 +188,10 @@ let shard_to_json sr =
           (List.map (fun (k, a) -> (k, Agg.to_json a)) sr.sr_per_workload) );
       ("metrics", sr.sr_metrics);
     ]
+    @
+    match sr.sr_telemetry with
+    | None -> []
+    | Some t -> [ ("telemetry", Telemetry.to_json t) ])
 
 let shard_of_json j =
   let bad msg = invalid_arg ("Fleet.Campaign.shard_of_json: " ^ msg) in
@@ -160,6 +209,7 @@ let shard_of_json j =
     sr_per_scheme = groups "per_scheme";
     sr_per_workload = groups "per_workload";
     sr_metrics = field "metrics";
+    sr_telemetry = Option.map Telemetry.of_json (Json.member "telemetry" j);
   }
 
 (* --- snapshots (gecko.fleet/1) ---------------------------------------- *)
@@ -233,6 +283,7 @@ type result = {
   resumed_shards : int;
   devices_run : int;
   instructions_run : int;
+  telemetry : Telemetry.t option;  (* merged in shard-id order *)
 }
 
 let report_of_shards (spec : Spec.t) completed =
@@ -259,7 +310,51 @@ let rec drop n = function
   | [] -> []
   | _ :: xs -> drop (n - 1) xs
 
-let run ?snapshot_path ?resume ?max_shards (spec : Spec.t) =
+(* Merged telemetry of a shard set, in shard-id order (the one true
+   reduction, like {!report_of_shards}).  [None] when no shard carries
+   telemetry. *)
+let telemetry_of_shards completed =
+  let sorted = List.sort (fun a b -> compare a.sr_id b.sr_id) completed in
+  List.fold_left
+    (fun acc sr ->
+      match (acc, sr.sr_telemetry) with
+      | None, t -> t
+      | Some a, Some t -> Some (Telemetry.merge a t)
+      | Some _, None -> acc)
+    None sorted
+
+(* The gecko.fleet-telemetry/1 JSONL stream: a header record, one record
+   per completed shard (in completion order — which is shard-id order
+   within the resumed prefix and within the freshly-run suffix, so the
+   stream is byte-identical at any pool width), a [final] record with
+   the shard-id-order merge, and last a clearly-marked
+   [nondeterministic] record carrying the only wall-clock-derived
+   fields.  `cmp` streams from different runs after stripping that one
+   line. *)
+let stream_header (spec : Spec.t) total (c : Telemetry.config) =
+  Json.Assoc
+    [
+      ("schema", Json.String Telemetry.stream_schema);
+      ("spec", Spec.to_json spec);
+      ("total_shards", Json.Int total);
+      ("total_devices", Json.Int spec.Spec.devices);
+      ("config", Telemetry.config_to_json c);
+    ]
+
+let stream_shard_line sr ~resumed ~cumulative =
+  Json.Assoc
+    [
+      ("shard", Json.Int sr.sr_id);
+      ("resumed", Json.Bool resumed);
+      ("devices", Json.Int sr.sr_agg.Agg.devices);
+      ( "telemetry",
+        match sr.sr_telemetry with
+        | Some t -> Telemetry.to_json t
+        | None -> Json.Null );
+      ("cumulative", Telemetry.to_json cumulative);
+    ]
+
+let run ?snapshot_path ?resume ?max_shards ?telemetry (spec : Spec.t) =
   ignore (Spec.validate spec);
   (match max_shards with
   | Some n when n < 1 ->
@@ -297,19 +392,97 @@ let run ?snapshot_path ?resume ?max_shards (spec : Spec.t) =
         in
         write_snapshot path (snapshot_json spec sorted)
   in
+  (* Telemetry stream + live progress. *)
+  let stream_oc =
+    match telemetry with
+    | Some { Telemetry.tel_path = Some path; _ } -> Some (open_out path)
+    | Some _ | None -> None
+  in
+  let emit_json j =
+    match stream_oc with
+    | None -> ()
+    | Some oc ->
+        Json.to_channel oc j;
+        output_char oc '\n';
+        flush oc
+  in
+  let tel_cum =
+    ref
+      (Option.map
+         (fun (c : Telemetry.config) ->
+           Telemetry.empty ~top_k:c.Telemetry.tel_top_k)
+         telemetry)
+  in
+  let devices_done = ref 0 in
+  let emit_shard ~resumed:was_resumed sr =
+    devices_done := !devices_done + sr.sr_agg.Agg.devices;
+    match !tel_cum with
+    | None -> ()
+    | Some cum ->
+        let cum =
+          match sr.sr_telemetry with
+          | Some t -> Telemetry.merge cum t
+          | None -> cum
+        in
+        tel_cum := Some cum;
+        emit_json (stream_shard_line sr ~resumed:was_resumed ~cumulative:cum)
+  in
+  let t_start = Gecko_util.Clock.now () in
+  let progress_on =
+    match telemetry with
+    | Some c -> c.Telemetry.tel_progress
+    | None -> false
+  in
+  let progress () =
+    if progress_on then begin
+      let wall = Gecko_util.Clock.elapsed t_start in
+      let resumed_devices =
+        List.fold_left (fun n sr -> n + sr.sr_agg.Agg.devices) 0 resumed
+      in
+      let fresh = !devices_done - resumed_devices in
+      let rate = float_of_int fresh /. Float.max wall 1e-9 in
+      let remaining = spec.Spec.devices - !devices_done in
+      let eta =
+        if fresh = 0 || remaining = 0 then ""
+        else Printf.sprintf " | ETA %.0fs" (float_of_int remaining /. rate)
+      in
+      let anomalies =
+        match !tel_cum with Some t -> t.Telemetry.anomalies | None -> 0
+      in
+      Printf.eprintf
+        "\rfleet: %d/%d shards | %d/%d devices | %d anomalies | %.1f \
+         devices/s%s   %!"
+        (List.length !completed) total !devices_done spec.Spec.devices
+        anomalies rate eta
+    end
+  in
+  (match telemetry with
+  | None -> ()
+  | Some c ->
+    emit_json (stream_header spec total c);
+    (* Resumed shards replay into the stream first, in shard-id order. *)
+    List.iter
+      (fun sr -> emit_shard ~resumed:true sr)
+      (List.sort (fun a b -> compare a.sr_id b.sr_id) resumed);
+    progress ());
   let wave = max 1 (Workbench.jobs ()) in
   let rec waves todo =
     match take wave todo with
     | [] -> ()
     | chunk ->
         let results =
-          Workbench.pmap (fun sid -> run_shard ~spec ~field ~devices sid) chunk
+          Workbench.pmap
+            (fun sid -> run_shard ?telemetry ~spec ~field ~devices sid)
+            chunk
         in
         completed := !completed @ results;
+        List.iter (emit_shard ~resumed:false) results;
         snapshot ();
+        progress ();
         waves (drop wave todo)
   in
   waves pending;
+  if progress_on then prerr_newline ();
   let new_shards =
     (* The freshly-run results are the suffix of [completed]. *)
     drop (List.length resumed) !completed
@@ -321,6 +494,30 @@ let run ?snapshot_path ?resume ?max_shards (spec : Spec.t) =
     List.fold_left (fun n sr -> n + sr.sr_agg.Agg.instructions) 0 new_shards
   in
   let all_done = List.length !completed = total in
+  let final_telemetry = telemetry_of_shards !completed in
+  (match (stream_oc, final_telemetry) with
+  | Some _, Some t -> emit_json (Json.Assoc [ ("final", Telemetry.to_json t) ])
+  | _ -> ());
+  (* The only wall-clock-derived record, marked so deterministic
+     consumers can strip it. *)
+  (match stream_oc with
+  | None -> ()
+  | Some oc ->
+      let wall = Gecko_util.Clock.elapsed t_start in
+      emit_json
+        (Json.Assoc
+           [
+             ( "nondeterministic",
+               Json.Assoc
+                 [
+                   ("wall_seconds", Json.Float wall);
+                   ( "devices_per_sec",
+                     Json.Float (float_of_int devices_run /. Float.max wall 1e-9)
+                   );
+                   ("jobs", Json.Int (Workbench.jobs ()));
+                 ] );
+           ]);
+      close_out oc);
   {
     report = (if all_done then Some (report_of_shards spec !completed) else None);
     completed_shards = List.length !completed;
@@ -328,4 +525,65 @@ let run ?snapshot_path ?resume ?max_shards (spec : Spec.t) =
     resumed_shards = List.length resumed;
     devices_run;
     instructions_run;
+    telemetry = final_telemetry;
+  }
+
+(* --- drill-down replay ------------------------------------------------- *)
+
+type replay = {
+  rp_device : device;
+  rp_schedule : Gecko_emi.Schedule.t;
+  rp_outcome : M.outcome;
+  rp_agg : Agg.t;
+  rp_telemetry : Telemetry.t;
+  rp_flight : Gecko_obs.Flight.t;
+  rp_trace : Gecko_obs.Trace.t;
+  rp_metrics : Gecko_obs.Metrics.registry;
+}
+
+let replay ?(config = Telemetry.default_config) ~device_id (spec : Spec.t) =
+  ignore (Spec.validate spec);
+  if device_id < 0 || device_id >= spec.Spec.devices then
+    invalid_arg
+      (Printf.sprintf "Fleet.Campaign.replay: device %d out of range [0, %d)"
+         device_id spec.Spec.devices);
+  let devices, field = elaborate spec in
+  let d = devices.(device_id) in
+  let flight =
+    Gecko_obs.Flight.create ~capacity:config.Telemetry.tel_flight_capacity ()
+  in
+  let trace = Gecko_obs.Trace.create () in
+  let o, agg, reg, latencies = run_device_full ~trace ~flight ~spec ~field d in
+  let tel =
+    device_telemetry
+      { config with Telemetry.tel_top_k = max 1 config.Telemetry.tel_top_k }
+      d ~latencies
+      ~flight:(Some (Gecko_obs.Flight.to_json flight))
+      agg
+  in
+  {
+    rp_device = d;
+    rp_schedule = Field.schedule_at field ~x:d.x ~y:d.y;
+    rp_outcome = o;
+    rp_agg = agg;
+    rp_telemetry = tel;
+    rp_flight = flight;
+    rp_trace = trace;
+    rp_metrics = reg;
+  }
+
+(* The last hop of the forensic workflow: anomaly -> replay -> shrink.
+   The repro carries the device's *compiled* program (the shrinker
+   re-links candidates without re-running the pipeline) and its local
+   attack schedule; no forced fires — the schedule alone is what the
+   device experienced. *)
+let shrink_repro (rp : replay) =
+  let d = rp.rp_device in
+  let p, _meta =
+    Gecko_core.Pipeline.compile d.scheme ((W.find d.workload).W.build ())
+  in
+  {
+    Gecko_faultinject.Shrink.r_prog = p;
+    r_schedule = rp.rp_schedule;
+    r_fires = [];
   }

@@ -32,9 +32,16 @@ val elaborate : Spec.t -> device array * Field.t
 (** Deterministic: depends only on the spec. *)
 
 val run_device :
-  spec:Spec.t -> field:Field.t -> device -> Agg.t * Gecko_obs.Metrics.registry
+  ?telemetry:Telemetry.config ->
+  spec:Spec.t ->
+  field:Field.t ->
+  device ->
+  Agg.t * Gecko_obs.Metrics.registry * Telemetry.t option
 (** Simulate one device under its local attack schedule; returns its
-    aggregate and its run-metrics registry. *)
+    aggregate, its run-metrics registry and — when [telemetry] is given
+    — its single-device telemetry (the device carries a flight recorder
+    for the run; the dump rides in its outlier record if it scores as
+    one). *)
 
 type shard_result = {
   sr_id : int;
@@ -43,10 +50,18 @@ type shard_result = {
   sr_per_workload : (string * Agg.t) list;
   sr_metrics : Gecko_obs.Json.t;
       (** Shard metrics registry, [Metrics.to_persist] form. *)
+  sr_telemetry : Telemetry.t option;
+      (** Present when the campaign ran with telemetry; persisted in the
+          snapshot so a resumed campaign keeps its outliers. *)
 }
 
 val run_shard :
-  spec:Spec.t -> field:Field.t -> devices:device array -> int -> shard_result
+  ?telemetry:Telemetry.config ->
+  spec:Spec.t ->
+  field:Field.t ->
+  devices:device array ->
+  int ->
+  shard_result
 
 val shard_to_json : shard_result -> Gecko_obs.Json.t
 val shard_of_json : Gecko_obs.Json.t -> shard_result
@@ -82,12 +97,16 @@ type result = {
   instructions_run : int;
       (** Simulated instructions retired by this invocation (feeds the
           bench harness's fleet [sim_instr_per_sec]). *)
+  telemetry : Telemetry.t option;
+      (** Campaign-wide telemetry, merged in shard-id order; present
+          when the campaign ran with telemetry. *)
 }
 
 val run :
   ?snapshot_path:string ->
   ?resume:Spec.t * shard_result list ->
   ?max_shards:int ->
+  ?telemetry:Telemetry.config ->
   Spec.t ->
   result
 (** Run (or continue) a campaign.  [snapshot_path] enables per-wave
@@ -95,4 +114,53 @@ val run :
     equal the requested one (raises [Invalid_argument] otherwise);
     [max_shards] bounds how many new shards this invocation runs (for
     controlled interruption).  Pool width comes from
-    {!Gecko_harness.Workbench.jobs}; results do not depend on it. *)
+    {!Gecko_harness.Workbench.jobs}; results do not depend on it.
+
+    [telemetry] arms the observability layer: every device carries a
+    {!Gecko_obs.Flight} recorder, every shard folds a {!Telemetry.t},
+    and — when [tel_path] is set — the campaign streams
+    [gecko.fleet-telemetry/1] JSONL: a header record, one record per
+    completed shard ([{"shard"; "resumed"; "devices"; "telemetry";
+    "cumulative"}], resumed shards first), a [{"final": ...}] record
+    with the shard-id-order merge, and a last [{"nondeterministic":
+    {"wall_seconds"; "devices_per_sec"; "jobs"}}] record quarantining
+    every wall-clock-derived field.  All other records are sim-derived
+    and byte-identical at any pool width.  [tel_progress] additionally
+    writes a live progress line (devices/s, ETA, anomaly count) to
+    stderr. *)
+
+(** {2 Drill-down replay}
+
+    The bridge from "fleet-wide anomaly" to "single-device repro": an
+    outlier record carries the device id; {!replay} re-elaborates that
+    one device from the spec — same RNG split, same schedule, same
+    compiled image — and re-runs it with the full forensics kit
+    attached.  The outcome is step-for-step the campaign's run (the
+    observers are pure), so the replayed aggregate must equal the
+    device's campaign contribution; from here
+    {!Gecko_faultinject.Shrink} can minimize the repro. *)
+
+type replay = {
+  rp_device : device;
+  rp_schedule : Gecko_emi.Schedule.t;
+      (** The device's local attack schedule, as sampled from the field. *)
+  rp_outcome : Gecko_machine.Machine.outcome;
+  rp_agg : Agg.t;
+  rp_telemetry : Telemetry.t;
+      (** Single-device telemetry with [tel_top_k >= 1], so an anomalous
+          device always yields its outlier record (flight dump
+          included). *)
+  rp_flight : Gecko_obs.Flight.t;
+  rp_trace : Gecko_obs.Trace.t;
+  rp_metrics : Gecko_obs.Metrics.registry;
+}
+
+val replay : ?config:Telemetry.config -> device_id:int -> Spec.t -> replay
+(** Raises [Invalid_argument] if [device_id] is outside the spec's
+    device range. *)
+
+val shrink_repro : replay -> Gecko_faultinject.Shrink.repro
+(** The replayed device as a shrinker input: its compiled program plus
+    its local attack schedule (no forced fires).  Feed to
+    {!Gecko_faultinject.Shrink.shrink} with a check that replays the
+    device's anomaly to minimize the repro. *)

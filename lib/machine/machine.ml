@@ -67,6 +67,7 @@ type options = {
   start_charged : bool;
   trace : Gecko_obs.Trace.t option;
   metrics : Gecko_obs.Metrics.registry option;
+  flight : Gecko_obs.Flight.t option;
 }
 
 let default_options =
@@ -82,6 +83,7 @@ let default_options =
     start_charged = true;
     trace = None;
     metrics = None;
+    flight = None;
   }
 
 type timeline = {
@@ -209,6 +211,9 @@ type state = {
      per-instruction cost of a disabled recorder is one branch *)
   tracing : bool;
   trace : Gecko_obs.Trace.t option;
+  (* [flight] is [None] unless an enabled recorder was supplied, so a
+     fleet device without one pays a single branch per recorded event *)
+  flight : Gecko_obs.Flight.t option;
   mutable next_vsample : float;
   hist_ckpt : Gecko_obs.Metrics.histogram option;
   hist_rollback : Gecko_obs.Metrics.histogram option;
@@ -232,6 +237,31 @@ let consult st site =
    outage at that instant would produce.  Nothing downstream is
    scripted. *)
 let force_power_failure st = Capacitor.set_voltage st.cap 0.
+
+(* --- flight recorder --------------------------------------------------- *)
+
+(* Pure observation: a note reads the clock and the capacitor and writes
+   a preallocated ring slot.  No injector consultation, no physics —
+   runs with and without a recorder are semantically identical. *)
+let flight_note st ?(arg = 0) ev =
+  match st.flight with
+  | None -> ()
+  | Some fl ->
+      Gecko_obs.Flight.record fl ~t_sim:st.time ~arg
+        ~v:(Capacitor.voltage st.cap) ev
+
+let flight_ids = function
+  | Ev_boot m -> ("boot", Policy.mode_to_int m)
+  | Ev_restore_jit -> ("restore_jit", 0)
+  | Ev_rollback b -> ("rollback", b)
+  | Ev_fresh_start -> ("fresh_start", 0)
+  | Ev_backup_signal early -> ("backup_signal", if early then 1 else 0)
+  | Ev_checkpoint -> ("checkpoint_commit", 0)
+  | Ev_checkpoint_failed -> ("checkpoint_failed", 0)
+  | Ev_brownout -> ("brownout", 0)
+  | Ev_detection -> ("detection", 0)
+  | Ev_reenable -> ("reenable", 0)
+  | Ev_completion -> ("completion", 0)
 
 let sleep_step = 100e-6
 
@@ -271,7 +301,8 @@ let refresh_attack st =
       if st.time >= w.Schedule.t_start then begin
         st.cur_amp <- Attack.induced_amplitude ~profile:st.profile w.Schedule.attack;
         st.cur_harvest_w <- Attack.harvestable_power w.Schedule.attack;
-        st.next_change <- w.Schedule.t_end
+        st.next_change <- w.Schedule.t_end;
+        flight_note st ~arg:!i "attack_window"
       end
       else begin
         st.cur_amp <- 0.;
@@ -358,6 +389,11 @@ let record st kind =
     | None -> ());
     sample_voltage st
   end;
+  (match st.flight with
+  | None -> ()
+  | Some _ ->
+      let name, arg = flight_ids kind in
+      flight_note st ~arg name);
   (* The event itself happened; the injector may kill the supply right
      at it (e.g. the instant the backup signal fires, or the instant a
      checkpoint completes). *)
@@ -424,6 +460,7 @@ let ctpl_sram_words = 96
 
 let jit_checkpoint_work st =
   st.jit_checkpoints <- st.jit_checkpoints + 1;
+  flight_note st "checkpoint_begin";
   spend st Cost.jit_isr_overhead_cycles ~extra:0.;
   (* One injection site per NVM word the ISR writes (SRAM sections first,
      then registers/PC/ACK): a forced collapse before word [k] leaves a
@@ -791,6 +828,7 @@ let exec_op st i =
   | Instr.Boundary id ->
       spend st c ~extra:(nvm_extra st ~reads:0 ~writes:1);
       Nvm.write st.nvm (sys_cell st Link.Cells.sys_boundary) (id + 1);
+      flight_note st ~arg:id "boundary";
       if not st.progress_written then begin
         (* Once per power cycle: the detection flag. *)
         spend st Cost.nvm_write_cycles ~extra:(nvm_extra st ~reads:0 ~writes:1);
@@ -806,6 +844,7 @@ let exec_op st i =
              Both lists are newest-first, so prepending the stage keeps
              the log in emission order. *)
           if st.io_staged <> [] then begin
+            flight_note st ~arg:(List.length st.io_staged) "io_commit";
             st.io_log <- st.io_staged @ st.io_log;
             st.io_staged <- []
           end;
@@ -1029,6 +1068,10 @@ let make_state ~board ~image ~meta opts =
       trace =
         (match opts.trace with
         | Some tr when Gecko_obs.Trace.enabled tr -> Some tr
+        | Some _ | None -> None);
+      flight =
+        (match opts.flight with
+        | Some fl when Gecko_obs.Flight.enabled fl -> Some fl
         | Some _ | None -> None);
       next_vsample = 0.;
       hist_ckpt =

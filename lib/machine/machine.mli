@@ -80,6 +80,16 @@ type options = {
           [monitor.*], [energy.*]) and latency histograms
           ([machine.jit_checkpoint_isr_s], [machine.rollback_s]).
           Counters accumulate across runs sharing a registry. *)
+  flight : Gecko_obs.Flight.t option;
+      (** Flight recorder — a fixed-capacity ring of the last-N runtime
+          events with voltage snapshots, cheap enough for every fleet
+          device to carry one.  Receives every {!event_kind} (whether or
+          not [record_events] is set) plus [checkpoint_begin],
+          [boundary] (arg = boundary id), [io_commit] (arg = records
+          committed) and [attack_window] (arg = window index) markers.
+          Pure observation: runs with and without a recorder are
+          semantically identical.  [None] (the default) or a disabled
+          recorder keeps the plain path. *)
 }
 
 val default_options : options

@@ -1,0 +1,100 @@
+type entry = { e_t : float; e_ev : string; e_arg : int; e_v : float }
+
+(* The ring holds mutable slots overwritten in place, so steady-state
+   recording allocates nothing; [entries]/[to_json] copy out into the
+   immutable [entry] form. *)
+type slot = {
+  mutable s_t : float;
+  mutable s_ev : string;
+  mutable s_arg : int;
+  mutable s_v : float;
+}
+
+type t = {
+  mutable enabled : bool;
+  buf : slot array;
+  mutable head : int;  (* index of the oldest slot once wrapped *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  {
+    enabled = true;
+    buf = Array.init capacity (fun _ -> { s_t = 0.; s_ev = ""; s_arg = 0; s_v = 0. });
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let disabled () =
+  let t = create ~capacity:1 () in
+  t.enabled <- false;
+  t
+
+let enabled t = t.enabled
+let set_enabled t e = t.enabled <- e
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let record t ~t_sim ~arg ~v ev =
+  if t.enabled then begin
+    let cap = Array.length t.buf in
+    let s =
+      if t.len < cap then begin
+        let s = t.buf.((t.head + t.len) mod cap) in
+        t.len <- t.len + 1;
+        s
+      end
+      else begin
+        let s = t.buf.(t.head) in
+        t.head <- (t.head + 1) mod cap;
+        t.dropped <- t.dropped + 1;
+        s
+      end
+    in
+    s.s_t <- t_sim;
+    s.s_ev <- ev;
+    s.s_arg <- arg;
+    s.s_v <- v
+  end
+
+let entries t =
+  let cap = Array.length t.buf in
+  List.init t.len (fun i ->
+      let s = t.buf.((t.head + i) mod cap) in
+      { e_t = s.s_t; e_ev = s.s_ev; e_arg = s.s_arg; e_v = s.s_v })
+
+let schema = "gecko.flight/1"
+
+let to_json t =
+  Json.Assoc
+    [
+      ("schema", Json.String schema);
+      ("capacity", Json.Int (Array.length t.buf));
+      ("recorded", Json.Int (t.len + t.dropped));
+      ("dropped", Json.Int t.dropped);
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Assoc
+                 [
+                   ("t", Json.Float e.e_t);
+                   ("ev", Json.String e.e_ev);
+                   ("arg", Json.Int e.e_arg);
+                   ("v", Json.Float e.e_v);
+                 ])
+             (entries t)) );
+    ]
+
+let to_string t = Json.to_string (to_json t)

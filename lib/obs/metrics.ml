@@ -324,6 +324,60 @@ let of_persist j =
     (obj "histograms");
   reg
 
+(* Prometheus text exposition (version 0.0.4).  Instrument names keep
+   their dotted form in the registry; the exposition sanitizes them to
+   the [a-zA-Z_:][a-zA-Z0-9_:]* charset.  Histogram buckets follow the
+   Prometheus convention: cumulative counts with [le] upper bounds plus
+   the mandatory [+Inf] bucket, then [_sum] and [_count]. *)
+
+let prom_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | '_' -> c
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus reg =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, i) ->
+      let n = prom_name name in
+      match i with
+      | C c ->
+          line "# TYPE %s counter" n;
+          line "%s %d" n c.count
+      | G g ->
+          line "# TYPE %s gauge" n;
+          line "%s %s" n (prom_float g.value)
+      | H h ->
+          line "# TYPE %s histogram" n;
+          let cum = ref h.underflow in
+          if h.underflow > 0 then
+            line "%s_bucket{le=\"%s\"} %d" n (prom_float h.lowest) !cum;
+          Array.iteri
+            (fun i c ->
+              if c > 0 then begin
+                cum := !cum + c;
+                let _, hi = bucket_bounds h i in
+                line "%s_bucket{le=\"%s\"} %d" n (prom_float hi) !cum
+              end)
+            h.counts;
+          line "%s_bucket{le=\"+Inf\"} %d" n h.n;
+          line "%s_sum %s" n (prom_float h.sum);
+          line "%s_count %d" n h.n)
+    (sorted_instruments reg);
+  Buffer.contents buf
+
 let csv_float f =
   if Float.is_finite f then Printf.sprintf "%.9g" f else "nan"
 

@@ -92,5 +92,14 @@ val to_json : registry -> Json.t
     Instruments are sorted by name. *)
 
 val to_csv : registry -> string
-(** [kind,name,field,value] rows, sorted by name; histogram bucket rows
-    use [bucket<lo:hi>] as the field. *)
+(** [kind,name,field,value] rows, sorted by name; histograms emit
+    [count]/[sum]/[min]/[max]/[mean]/[p50]/[p90]/[p99] rows plus one
+    [bucket<lo:hi>] row per non-empty bucket. *)
+
+val to_prometheus : registry -> string
+(** Prometheus text exposition (format 0.0.4): one [# TYPE] line per
+    instrument, names sanitized to the Prometheus charset (dots become
+    underscores).  Histograms expose cumulative [_bucket{le="..."}]
+    series over the non-empty log buckets (underflow included under
+    [le="lowest"]) plus the mandatory [le="+Inf"] bucket, [_sum] and
+    [_count]. *)

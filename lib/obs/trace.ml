@@ -138,7 +138,16 @@ let chrome_entry ~pid (e : entry) =
   Json.Assoc (base @ extra @ [ ("args", Json.Assoc args) ])
 
 let to_chrome ?(pid = 1) t =
-  Json.List (List.map (chrome_entry ~pid) (entries t))
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (List.map (chrome_entry ~pid) (entries t)));
+      ( "otherData",
+        Json.Assoc
+          [
+            ("recorded", Json.Int (t.len + t.dropped));
+            ("dropped", Json.Int t.dropped);
+          ] );
+    ]
 
 let to_chrome_string ?pid t = Json.to_string (to_chrome ?pid t)
 

@@ -66,9 +66,14 @@ val clear : t -> unit
 (** {2 Exporters} *)
 
 val to_chrome : ?pid:int -> t -> Json.t
-(** The Chrome trace-event array: one [{name; cat; ph; ts; pid; tid}]
-    object per entry, [ts] in microseconds.  Counter entries carry
-    [args = {"value": v}]; every entry carries [args.host_s]. *)
+(** The Chrome trace-event object form:
+    [{"traceEvents": [...], "otherData": {"recorded"; "dropped"}}] — one
+    [{name; cat; ph; ts; pid; tid}] object per entry, [ts] in
+    microseconds.  Counter entries carry [args = {"value": v}]; every
+    entry carries [args.host_s].  [otherData] records how many entries
+    the ring ever saw and how many were overwritten, so a truncated
+    trace is visible instead of silently short (Perfetto and
+    chrome://tracing accept both the array and the object form). *)
 
 val to_chrome_string : ?pid:int -> t -> string
 

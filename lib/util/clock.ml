@@ -1,0 +1,16 @@
+let source = ref Unix.gettimeofday
+
+(* Benign race under domains: a stale [last] only weakens the clamp to
+   what a per-domain clamp would give; readings still never decrease
+   relative to what the same domain saw. *)
+let last = ref neg_infinity
+
+let now () =
+  let t = !source () in
+  let t = if t > !last then t else !last in
+  last := t;
+  t
+
+let elapsed t0 = Float.max 0. (now () -. t0)
+
+let set_source f = source := f

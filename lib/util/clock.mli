@@ -1,0 +1,28 @@
+(** Process wall clock for throughput reporting, guaranteed monotone.
+
+    [Unix.gettimeofday] can step backwards (NTP slew, manual clock
+    changes), which turns [t1 -. t0] elapsed-time arithmetic into
+    negative "wall" times and negative derived rates.  This module is
+    the single clock every wall-time measurement goes through:
+
+    - the default source is [Unix.gettimeofday] clamped to be
+      non-decreasing within the process, so elapsed times are >= 0 even
+      across a clock step;
+    - a harness with access to a true monotonic clock (the bench links
+      bechamel's [CLOCK_MONOTONIC] binding) installs it once via
+      {!set_source}, after which every measurement in the process is
+      genuinely step-free.
+
+    Readings are seconds since an arbitrary per-process epoch: only
+    differences are meaningful. *)
+
+val now : unit -> float
+(** Current reading of the installed source, clamped so consecutive
+    calls never decrease. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [max 0. (now () -. t0)]. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the clock source (e.g. with a [CLOCK_MONOTONIC] reader).
+    The non-decreasing clamp still applies across the switch. *)

@@ -29,11 +29,14 @@ let need_list path j key =
 
 let check_trace path =
   let j = parse path in
-  (* Chrome trace-event format: a top-level array of event objects. *)
-  match j with
-  | Json.List (e :: _) -> ignore (need path e "ph")
-  | Json.List [] -> fail "%s: trace is empty" path
-  | _ -> fail "%s: expected a Chrome trace-event array" path
+  (* Chrome trace-event format: {"traceEvents": [...], "otherData": {...}}. *)
+  (match need_list path j "traceEvents" with
+  | e :: _ -> ignore (need path e "ph")
+  | [] -> fail "%s: trace is empty" path);
+  let other = need path j "otherData" in
+  match Json.member "dropped" other with
+  | Some (Json.Int d) when d >= 0 -> ()
+  | _ -> fail "%s: otherData.dropped missing or negative" path
 
 let check_metrics path =
   let j = parse path in
@@ -90,14 +93,71 @@ let check_run_log path =
   let s = read_file path in
   if String.length s = 0 then fail "%s: empty CLI output" path
 
+let check_telemetry path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> fail "%s: empty telemetry stream" path
+  | header :: rest ->
+      let h =
+        match Json.parse header with
+        | Ok j -> j
+        | Error m -> fail "%s: invalid header JSON: %s" path m
+      in
+      (match Json.to_string_opt (need path h "schema") with
+      | Some "gecko.fleet-telemetry/1" -> ()
+      | _ -> fail "%s: bad stream schema tag" path);
+      ignore (need path h "spec");
+      ignore (need path h "config");
+      let records =
+        List.map
+          (fun l ->
+            match Json.parse l with
+            | Ok j -> j
+            | Error m -> fail "%s: invalid stream record: %s" path m)
+          rest
+      in
+      if not (List.exists (fun j -> Json.member "final" j <> None) records)
+      then fail "%s: stream has no final record" path;
+      if
+        not
+          (List.exists
+             (fun j -> Json.member "nondeterministic" j <> None)
+             records)
+      then fail "%s: stream has no nondeterministic record" path;
+      List.iter
+        (fun j ->
+          match Json.member "shard" j with
+          | Some _ -> ignore (need path j "cumulative")
+          | None -> ())
+        records
+
+let check_flight path =
+  let j = parse path in
+  (match Json.to_string_opt (need path j "schema") with
+  | Some "gecko.flight/1" -> ()
+  | _ -> fail "%s: bad flight schema tag" path);
+  match need_list path j "events" with
+  | [] -> fail "%s: flight dump is empty" path
+  | e :: _ -> List.iter (fun k -> ignore (need path e k)) [ "t"; "ev"; "v" ]
+
 let () =
   match Array.to_list Sys.argv with
-  | [ _; trace; metrics; fuzz; runlog; fleet; heartbeat ] ->
+  | [ _; trace; metrics; fuzz; runlog; fleet; heartbeat; telemetry; flight;
+      replaylog ] ->
       check_trace trace;
       check_metrics metrics;
       check_fuzz fuzz;
       check_run_log runlog;
       check_fleet fleet;
       check_run_log heartbeat;
+      check_telemetry telemetry;
+      check_flight flight;
+      check_run_log replaylog;
       print_endline "cli smoke artifacts ok"
-  | _ -> fail "usage: cli_smoke_check TRACE METRICS FUZZ RUNLOG FLEET HEARTBEAT"
+  | _ ->
+      fail
+        "usage: cli_smoke_check TRACE METRICS FUZZ RUNLOG FLEET HEARTBEAT \
+         TELEMETRY FLIGHT REPLAYLOG"

@@ -124,6 +124,72 @@ let prop_metrics_persist_roundtrip =
       let r = build ops in
       persist (Metrics.of_persist (Metrics.to_persist r)) = persist r)
 
+let prop_metrics_quantile_monotone =
+  (* Quantiles of a merged-then-persisted registry must be monotone in p
+     — the estimator walks cumulative bucket counts, so any violation
+     means the merge or the round-trip corrupted a count. *)
+  QCheck.Test.make ~count:80
+    ~name:"Metrics: quantile is monotone in p after merge_into + persist"
+    (QCheck.pair ops_arb ops_arb) (fun (xs, ys) ->
+      let r =
+        Metrics.of_persist
+          (Metrics.to_persist (merged [ build xs; build ys ]))
+      in
+      let ps = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      List.for_all
+        (fun i ->
+          let h = Metrics.histogram r (Printf.sprintf "h%d" i) in
+          let qs = List.map (Metrics.quantile h) ps in
+          let rec mono = function
+            | a :: (b :: _ as rest) -> a <= b && mono rest
+            | _ -> true
+          in
+          mono qs)
+        [ 0; 1; 2 ])
+
+(* --- telemetry sketch and monoid laws -------------------------------- *)
+
+module Telemetry = Fleet.Telemetry
+
+let latency_list =
+  (* Non-negative dyadic seconds (multiples of 1/1024) spanning many
+     sketch buckets: the sketch's [sum] is float addition, exact only on
+     dyadic inputs — same caveat as the Acc properties above. *)
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+    QCheck.Gen.(
+      list_size (int_bound 24)
+        (map (fun k -> float_of_int k /. 1024.) (int_range 0 100000)))
+
+let sketch_of_list xs = List.fold_left Telemetry.Sketch.add Telemetry.Sketch.empty xs
+
+let prop_sketch_merge_is_concat =
+  QCheck.Test.make ~count:100
+    ~name:"Sketch: merge of splits equals fold of whole; JSON exact"
+    (QCheck.pair latency_list latency_list) (fun (xs, ys) ->
+      let m = Telemetry.Sketch.merge (sketch_of_list xs) (sketch_of_list ys) in
+      let whole = sketch_of_list (xs @ ys) in
+      Json.to_string (Telemetry.Sketch.to_json m)
+      = Json.to_string (Telemetry.Sketch.to_json whole)
+      && Json.to_string
+           (Telemetry.Sketch.to_json
+              (Telemetry.Sketch.of_json (Telemetry.Sketch.to_json m)))
+         = Json.to_string (Telemetry.Sketch.to_json m))
+
+let prop_sketch_quantile_monotone =
+  QCheck.Test.make ~count:100 ~name:"Sketch: quantile is monotone in q"
+    latency_list (fun xs ->
+      let s = sketch_of_list xs in
+      let qs =
+        List.map (Telemetry.Sketch.quantile s)
+          [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono qs)
+
 (* --- fleet campaign -------------------------------------------------- *)
 
 let small_spec =
@@ -182,6 +248,79 @@ let test_resume_equals_uninterrupted () =
           Alcotest.(check string)
             "resumed report equals the uninterrupted one" uninterrupted
             (Json.to_string (Fleet.Report.to_json r)))
+
+let telemetry_stream spec path =
+  let config =
+    { Telemetry.default_config with Telemetry.tel_path = Some path }
+  in
+  ignore (Fleet.Campaign.run ~telemetry:config spec);
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  (* Drop the one wall-clock record; everything else must be sim-pure. *)
+  String.split_on_char '\n' contents
+  |> List.filter (fun l ->
+         not (String.starts_with ~prefix:"{\"nondeterministic\":" l))
+  |> String.concat "\n"
+
+let test_telemetry_jobs_byte_equality () =
+  let saved = Workbench.jobs () in
+  let tmp = Filename.temp_file "gecko_tel" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Workbench.set_jobs saved;
+      try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Workbench.set_jobs 1;
+      let serial = telemetry_stream small_spec tmp in
+      Workbench.set_jobs 4;
+      let parallel = telemetry_stream small_spec tmp in
+      Alcotest.(check bool) "stream has a header and shard records" true
+        (List.length (String.split_on_char '\n' serial) > 2);
+      Alcotest.(check string)
+        "jobs=1 and jobs=4 telemetry streams are byte-identical" serial
+        parallel)
+
+let test_replay_matches_campaign () =
+  let r =
+    Fleet.Campaign.run ~telemetry:Telemetry.default_config small_spec
+  in
+  let tel =
+    match r.Fleet.Campaign.telemetry with
+    | Some t -> t
+    | None -> Alcotest.fail "telemetry-armed campaign produced no telemetry"
+  in
+  match tel.Telemetry.outliers with
+  | [] -> Alcotest.fail "campaign surfaced no outliers to drill into"
+  | top :: _ ->
+      let rp =
+        Fleet.Campaign.replay ~device_id:top.Telemetry.o_device small_spec
+      in
+      let record t =
+        (* Compare through the persisted outlier form — exactly what the
+           stream carries. *)
+        match
+          List.find_opt
+            (fun o -> o.Telemetry.o_device = top.Telemetry.o_device)
+            t.Telemetry.outliers
+        with
+        | Some o ->
+            Json.to_string
+              (Telemetry.to_json
+                 { (Telemetry.empty ~top_k:1) with Telemetry.outliers = [ o ] })
+        | None -> Alcotest.fail "replay lost the outlier record"
+      in
+      Alcotest.(check string)
+        "replayed outlier record equals the campaign's" (record tel)
+        (record rp.Fleet.Campaign.rp_telemetry);
+      Alcotest.(check bool) "flight dump is non-empty" true
+        (Gecko_obs.Flight.length rp.Fleet.Campaign.rp_flight > 0);
+      Alcotest.(check int)
+        "replayed corruption count matches the record"
+        top.Telemetry.o_corruptions
+        rp.Fleet.Campaign.rp_agg.Fleet.Agg.corruptions;
+      (* The bridge to the shrinker produces a well-formed repro. *)
+      let repro = Fleet.Campaign.shrink_repro rp in
+      Alcotest.(check bool) "shrink repro is non-trivial" true
+        (Gecko_faultinject.Shrink.size repro > 0)
 
 let test_snapshot_roundtrip () =
   let spec =
@@ -276,11 +415,18 @@ let () =
             prop_metrics_commutative;
             prop_metrics_associative;
             prop_metrics_persist_roundtrip;
+            prop_metrics_quantile_monotone;
+            prop_sketch_merge_is_concat;
+            prop_sketch_quantile_monotone;
           ] );
       ( "campaign",
         [
           Alcotest.test_case "jobs=1 vs jobs=4 byte-equality" `Slow
             test_jobs_byte_equality;
+          Alcotest.test_case "telemetry jobs=1 vs jobs=4 byte-equality" `Slow
+            test_telemetry_jobs_byte_equality;
+          Alcotest.test_case "replay matches campaign outlier" `Slow
+            test_replay_matches_campaign;
           Alcotest.test_case "resume equals uninterrupted" `Slow
             test_resume_equals_uninterrupted;
           Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;

@@ -118,10 +118,13 @@ let test_trace_chrome_export () =
   Trace.counter t ~ts:3e-3 "cap_voltage" 2.7;
   let doc = parse_exn (Trace.to_chrome_string ~pid:9 t) in
   let objs =
-    match Json.to_list_opt doc with
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
     | Some l -> l
-    | None -> Alcotest.fail "expected a JSON array"
+    | None -> Alcotest.fail "expected a traceEvents array"
   in
+  (match Option.bind (Json.member "otherData" doc) (Json.member "dropped") with
+  | Some (Json.Int 0) -> ()
+  | _ -> Alcotest.fail "expected otherData.dropped = 0");
   Alcotest.(check int) "one object per entry" 3 (List.length objs);
   let field name o = Option.get (Json.member name o) in
   List.iter
@@ -261,6 +264,102 @@ let test_metrics_export () =
   Alcotest.(check bool) "csv gauge row" true
     (List.mem "gauge,volts,value,2.5" lines)
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Gecko_obs.Flight
+
+let test_flight_ring_wrap () =
+  let fl = Flight.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight.record fl ~t_sim:(float_of_int i) ~arg:i ~v:3.0 "boundary"
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Flight.length fl);
+  Alcotest.(check int) "dropped counts the overwritten" 6 (Flight.dropped fl);
+  Alcotest.(check (list int))
+    "keeps the last N, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Flight.e_arg) (Flight.entries fl));
+  let j = Flight.to_json fl in
+  (match Json.member "schema" j with
+  | Some (Json.String "gecko.flight/1") -> ()
+  | _ -> Alcotest.fail "bad schema tag");
+  (match Json.member "recorded" j with
+  | Some (Json.Int 10) -> ()
+  | _ -> Alcotest.fail "recorded must count kept + dropped");
+  Flight.clear fl;
+  Alcotest.(check int) "clear empties the ring" 0 (Flight.length fl);
+  Alcotest.(check int) "clear resets dropped" 0 (Flight.dropped fl)
+
+let test_flight_capacity_one () =
+  (* The degenerate ring: every record overwrites the single slot. *)
+  let fl = Flight.create ~capacity:1 () in
+  Alcotest.(check int) "capacity clamps to >= 1" 1 (Flight.capacity fl);
+  Flight.record fl ~t_sim:0.5 ~arg:1 ~v:2.0 "boot";
+  Flight.record fl ~t_sim:1.5 ~arg:2 ~v:2.5 "detection";
+  Alcotest.(check int) "one kept" 1 (Flight.length fl);
+  Alcotest.(check int) "one dropped" 1 (Flight.dropped fl);
+  (match Flight.entries fl with
+  | [ e ] ->
+      Alcotest.(check string) "latest survives" "detection" e.Flight.e_ev;
+      Alcotest.check feq "its timestamp" 1.5 e.Flight.e_t
+  | _ -> Alcotest.fail "expected exactly one entry")
+
+let test_flight_disabled () =
+  let fl = Flight.disabled () in
+  Flight.record fl ~t_sim:0.0 ~arg:0 ~v:3.3 "boot";
+  Alcotest.(check int) "disabled records nothing" 0 (Flight.length fl);
+  Flight.set_enabled fl true;
+  Flight.record fl ~t_sim:1.0 ~arg:0 ~v:3.3 "boot";
+  Alcotest.(check int) "re-enabled records" 1 (Flight.length fl)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_prometheus () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter reg "machine.completions");
+  Metrics.set_gauge (Metrics.gauge reg "cap-volts") 2.5;
+  let h = Metrics.histogram reg "machine.rollback_s" in
+  Metrics.observe h 0.002;
+  Metrics.observe h 0.004;
+  let text = Metrics.to_prometheus reg in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE machine_completions counter");
+  Alcotest.(check bool) "counter sample" true (has "machine_completions 3");
+  Alcotest.(check bool) "gauge sanitized name" true (has "cap_volts 2.5");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (has "# TYPE machine_rollback_s histogram");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (has "machine_rollback_s_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool) "histogram count" true (has "machine_rollback_s_count 2");
+  (* Bucket counts must be cumulative: each le line's value is
+     non-decreasing in file order. *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        let prefix = "machine_rollback_s_bucket{" in
+        if String.starts_with ~prefix l then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+              float_of_string_opt
+                (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least two bucket lines" true
+    (List.length bucket_counts >= 2);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bucket counts are cumulative" true
+    (nondecreasing bucket_counts)
+
 let () =
   Alcotest.run "obs"
     [
@@ -274,11 +373,19 @@ let () =
           Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
           Alcotest.test_case "jsonl export" `Quick test_trace_jsonl_export;
         ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_flight_ring_wrap;
+          Alcotest.test_case "capacity one" `Quick test_flight_capacity_one;
+          Alcotest.test_case "disabled" `Quick test_flight_disabled;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters & gauges" `Quick
             test_metrics_counters_gauges;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "export" `Quick test_metrics_export;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prometheus;
         ] );
     ]
