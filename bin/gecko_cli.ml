@@ -220,8 +220,17 @@ let run_cmd =
             "Render an ASCII timeline of the run: capacitor voltage and \
              application throughput over simulated time.")
   in
+  let no_fast =
+    Arg.(
+      value & flag
+      & info [ "no-fast" ]
+          ~doc:
+            "Disable the pre-decoded block dispatcher and interpret every \
+             instruction on the checked path.  Outcomes are identical \
+             either way; this exists for debugging and A/B timing.")
+  in
   let run name scheme seconds attack_mhz attack_at outages events trace_out
-      metrics_out timeline =
+      metrics_out timeline no_fast =
     let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
     let image = Gecko.Isa.Link.link p in
     let board =
@@ -270,6 +279,7 @@ let run_cmd =
           metrics = registry;
           timeline_bucket =
             (if timeline then Some (seconds /. 60.) else None);
+          fast = not no_fast;
         }
     in
     (match events with
@@ -357,7 +367,7 @@ let run_cmd =
        ~doc:"Run a workload on the simulated intermittent system")
     Term.(
       const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ attack_at
-      $ outages $ events $ trace_out $ metrics_out $ timeline)
+      $ outages $ events $ trace_out $ metrics_out $ timeline $ no_fast)
 
 (* --- fuzz ------------------------------------------------------------- *)
 

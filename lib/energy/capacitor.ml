@@ -45,6 +45,13 @@ let source_current t ~amps ~dt =
 let energy_drained_total t = t.drained_total
 let energy_sourced_total t = t.sourced_total
 
+(* Batched-integration entry point for block-level dispatch: the stored
+   energy at voltage [v], with the exact float expression of [energy] so
+   an energy-space comparison agrees bit-for-bit with a voltage-space
+   one (x -> 0.5*C*x*x rounds monotonically, so E(v1) > E(v2) implies
+   v1 > v2). *)
+let stored_energy_at ~capacitance v = 0.5 *. capacitance *. v *. v
+
 let charge_time_rc ~capacitance ~v_source ~r_source ~v_from ~v_to =
   if v_to >= v_source then infinity
   else if v_to <= v_from then 0.

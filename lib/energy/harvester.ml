@@ -60,3 +60,5 @@ let rec current t ~time ~v =
       let v_eff = max v 0.5 in
       p /. v_eff
   | None_ -> 0.
+
+let constant_power_watts = function Constant_power p -> Some p | _ -> None

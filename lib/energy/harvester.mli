@@ -38,3 +38,9 @@ val none : t
 val current : t -> time:float -> v:float -> float
 (** Charging current (amps) at simulation time [time] with capacitor
     voltage [v]. *)
+
+val constant_power_watts : t -> float option
+(** [Some p] when the harvester is a bare {!constant_power} source —
+    the dominant bench configuration — letting a hot loop specialize
+    {!current} to [p /. max v 0.5] instead of re-matching the model
+    every instruction.  [None] for every other shape. *)

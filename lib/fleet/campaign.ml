@@ -64,10 +64,13 @@ let board_of = function
    run step for step. *)
 let run_device_full ?trace ?flight ~(spec : Spec.t) ~field (d : device) =
   let schedule = Field.schedule_at field ~x:d.x ~y:d.y in
-  let image, meta = Workbench.compiled d.scheme ((W.find d.workload).W.build ()) in
+  let board = board_of d.board in
+  let image, meta, dec =
+    Workbench.decoded d.scheme ((W.find d.workload).W.build ()) ~board
+  in
   let reg = Metrics.create () in
   let o =
-    M.run ~board:(board_of d.board) ~image ~meta
+    M.run ~board ~image ~meta
       {
         M.default_options with
         schedule;
@@ -79,6 +82,7 @@ let run_device_full ?trace ?flight ~(spec : Spec.t) ~field (d : device) =
         metrics = Some reg;
         trace;
         flight;
+        decoded = Some dec;
       }
   in
   let gauge name = Metrics.gauge_value (Metrics.gauge reg name) in

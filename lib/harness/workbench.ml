@@ -64,6 +64,41 @@ let compiled scheme (prog : Cfg.program) =
 let cache_counts () =
   Mutex.protect cache_mutex (fun () -> (!cache_hits, !cache_misses))
 
+(* Decoded-stream cache, beside the compile cache.  [Decode.decode] is
+   O(code size) and depends only on the image and the device's
+   timing/energy constants, so it is keyed by (program, scheme, device
+   model); the machine validates provenance by physical equality on the
+   image, which is stable here because [compiled] memoizes the link.
+   Shares [cache_mutex]: both caches are touched at run setup, never in
+   the hot loop. *)
+let decode_cache :
+    (string * Core.Scheme.t * string, Gecko_machine.Decode.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let decode_hits = ref 0
+let decode_misses = ref 0
+
+let decoded scheme (prog : Cfg.program) ~(board : Board.t) =
+  let image, meta = compiled scheme prog in
+  let device = board.Board.device in
+  let key = (prog.Cfg.pname, scheme, device.Gecko_devices.Device.model) in
+  let dec =
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt decode_cache key with
+        | Some d ->
+            incr decode_hits;
+            d
+        | None ->
+            incr decode_misses;
+            let d = Gecko_machine.Decode.decode ~device image in
+            Hashtbl.replace decode_cache key d;
+            d)
+  in
+  (image, meta, dec)
+
+let decode_counts () =
+  Mutex.protect cache_mutex (fun () -> (!decode_hits, !decode_misses))
+
 let record_cache_metrics reg =
   let hits, misses = cache_counts () in
   let module Mx = Gecko_obs.Metrics in
@@ -72,7 +107,10 @@ let record_cache_metrics reg =
     Mx.incr ~by:(v - Mx.counter_value c) c
   in
   set "workbench.compile_cache_hits" hits;
-  set "workbench.compile_cache_misses" misses
+  set "workbench.compile_cache_misses" misses;
+  let dhits, dmisses = decode_counts () in
+  set "workbench.decode_cache_hits" dhits;
+  set "workbench.decode_cache_misses" dmisses
 
 (* --- experiment pool -------------------------------------------------- *)
 

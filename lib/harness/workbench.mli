@@ -23,10 +23,27 @@ val cache_counts : unit -> int * int
     pool size; campaign throughput reporting takes deltas around a
     run. *)
 
+val decoded :
+  Gecko_core.Scheme.t ->
+  Cfg.program ->
+  board:Gecko_machine.Board.t ->
+  Link.image * Gecko_core.Meta.t * Gecko_machine.Decode.t
+(** {!compiled}, plus the pre-decoded instruction stream for the board's
+    device, memoized beside the compile cache on (program, scheme,
+    device model).  Feed the third component to
+    {!Gecko_machine.Machine.options.decoded} so repeated runs of the
+    same workload skip the O(code size) decode pass. *)
+
+val decode_counts : unit -> int * int
+(** Process-lifetime [(hits, misses)] of the decode cache (one miss per
+    distinct (program, scheme, device) triple). *)
+
 val record_cache_metrics : Gecko_obs.Metrics.registry -> unit
-(** Publish {!cache_counts} as the [workbench.compile_cache_hits] /
-    [workbench.compile_cache_misses] counters of a metrics registry
-    (setting them to the current totals, idempotently). *)
+(** Publish {!cache_counts} and {!decode_counts} as the
+    [workbench.compile_cache_hits] / [workbench.compile_cache_misses] /
+    [workbench.decode_cache_hits] / [workbench.decode_cache_misses]
+    counters of a metrics registry (setting them to the current totals,
+    idempotently). *)
 
 val jobs : unit -> int
 (** Effective parallelism of the experiment pool: the value given to

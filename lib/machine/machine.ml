@@ -68,6 +68,13 @@ type options = {
   trace : Gecko_obs.Trace.t option;
   metrics : Gecko_obs.Metrics.registry option;
   flight : Gecko_obs.Flight.t option;
+  (* [fast = false] forces the per-instruction checked path everywhere —
+     the pre-decoded block dispatcher is skipped.  Debug/differential
+     aid: outcomes must be identical either way. *)
+  fast : bool;
+  (* A cached [Decode.decode] of this image (see Workbench); decoded
+     fresh when [None].  Ignored unless it matches the run's image. *)
+  decoded : Decode.t option;
 }
 
 let default_options =
@@ -84,6 +91,8 @@ let default_options =
     trace = None;
     metrics = None;
     flight = None;
+    fast = true;
+    decoded = None;
   }
 
 type timeline = {
@@ -129,6 +138,26 @@ let checkpoint_failure_rate o =
 
 (* ------------------------------------------------------------------ *)
 
+(* The per-instruction mutable floats live in their own all-float
+   record: OCaml stores such records flat (unboxed), so the hot-path
+   writes in [spend]/[refresh_attack] are plain stores.  Inside the
+   mixed [state] record below each mutable float write would allocate a
+   fresh box and go through the write barrier. *)
+type phys = {
+  mutable time : float;
+  mutable cur_amp : float;
+  mutable cur_harvest_w : float;
+  mutable next_change : float;
+  mutable next_obs : float;
+  mutable next_vsample : float;
+  mutable boot_time : float;
+  mutable next_wake_check : float;
+  k_harv_pw : float;
+      (* delivered watts of a bare constant-power harvester (0. otherwise);
+         lives here rather than in [state] so the fast path reads it flat
+         instead of chasing a boxed-float or option pointer *)
+}
+
 type state = {
   board : Board.t;
   image : Link.image;
@@ -146,23 +175,24 @@ type state = {
   k_nvm_write_e : float;
   k_sleep_power : float;
   k_v_off : float;
+  k_e_off : float;  (* stored energy at the brownout threshold *)
+  k_harv : Harvester.t;  (* copy of [board.harvester], no pointer chase *)
+  k_harv_const : bool;  (* bare constant-power source: use [ph.k_harv_pw] *)
+  k_tl_on : bool;  (* timeline buckets requested ([tl_bucket > 0.]) *)
+  ph : phys;
+  (* pre-decoded instruction stream + block dispatcher switch *)
+  dec : Decode.t;
+  fast_enabled : bool;
   rng_io : Gecko_util.Rng.t;  (* per-run RNG behind [In], reseeded per draw *)
   regs : int array;
   mutable pc : int;
   mutable powered : bool;
-  mutable time : float;
   mutable mode : Policy.mode;
   (* attack cursor: windows are sorted by start time and non-overlapping
      (Schedule invariant), and simulated time only moves forward, so a
      monotone index replaces the per-instruction array scan *)
   windows : Schedule.window array;
   mutable win_idx : int;
-  mutable cur_amp : float;
-  mutable cur_harvest_w : float;
-  mutable next_change : float;
-  (* monitor cursor: earliest time the next [Monitor.observe] could
-     matter; refreshed whenever the monitor is observed or reconfigured *)
-  mutable next_obs : float;
   mutable instrs : int;
   (* fault injection: consulted at every {!inject_site}; [true] forces a
      power failure at that exact point.  [None] keeps the plain path. *)
@@ -173,8 +203,6 @@ type state = {
   mutable hit_limit : bool;
   mutable progress_written : bool;  (* progress flag written this power cycle *)
   mutable boot_inhibited : bool;  (* BOR hysteresis after a failed boot *)
-  mutable boot_time : float;  (* when the current power cycle began *)
-  mutable next_wake_check : float;
   t_min_on : float;  (* guaranteed minimum on-time of a full charge *)
   (* counters *)
   mutable completions : int;
@@ -214,7 +242,6 @@ type state = {
   (* [flight] is [None] unless an enabled recorder was supplied, so a
      fleet device without one pays a single branch per recorded event *)
   flight : Gecko_obs.Flight.t option;
-  mutable next_vsample : float;
   hist_ckpt : Gecko_obs.Metrics.histogram option;
   hist_rollback : Gecko_obs.Metrics.histogram option;
 }
@@ -223,7 +250,7 @@ let cycle_time st = st.k_cycle_time
 let epc st = st.k_epc
 let core st = st.board.Board.device.Device.core
 
-let refresh_obs st = st.next_obs <- Monitor.next_sample_time st.monitor
+let refresh_obs st = st.ph.next_obs <- Monitor.next_sample_time st.monitor
 
 (* --- fault injection -------------------------------------------------- *)
 
@@ -247,7 +274,7 @@ let flight_note st ?(arg = 0) ev =
   match st.flight with
   | None -> ()
   | Some fl ->
-      Gecko_obs.Flight.record fl ~t_sim:st.time ~arg
+      Gecko_obs.Flight.record fl ~t_sim:st.ph.time ~arg
         ~v:(Capacitor.voltage st.cap) ev
 
 let flight_ids = function
@@ -286,28 +313,28 @@ let ratchet_cell st parity r =
    cursor or idle until it starts.  Amortized O(1) per instruction
    instead of O(windows). *)
 let refresh_attack st =
-  if st.time >= st.next_change then begin
+  if st.ph.time >= st.ph.next_change then begin
     let n = Array.length st.windows in
     let i = ref st.win_idx in
-    while !i < n && st.time >= st.windows.(!i).Schedule.t_end do incr i done;
+    while !i < n && st.ph.time >= st.windows.(!i).Schedule.t_end do incr i done;
     st.win_idx <- !i;
     if !i >= n then begin
-      st.cur_amp <- 0.;
-      st.cur_harvest_w <- 0.;
-      st.next_change <- infinity
+      st.ph.cur_amp <- 0.;
+      st.ph.cur_harvest_w <- 0.;
+      st.ph.next_change <- infinity
     end
     else begin
       let w = st.windows.(!i) in
-      if st.time >= w.Schedule.t_start then begin
-        st.cur_amp <- Attack.induced_amplitude ~profile:st.profile w.Schedule.attack;
-        st.cur_harvest_w <- Attack.harvestable_power w.Schedule.attack;
-        st.next_change <- w.Schedule.t_end;
+      if st.ph.time >= w.Schedule.t_start then begin
+        st.ph.cur_amp <- Attack.induced_amplitude ~profile:st.profile w.Schedule.attack;
+        st.ph.cur_harvest_w <- Attack.harvestable_power w.Schedule.attack;
+        st.ph.next_change <- w.Schedule.t_end;
         flight_note st ~arg:!i "attack_window"
       end
       else begin
-        st.cur_amp <- 0.;
-        st.cur_harvest_w <- 0.;
-        st.next_change <- w.Schedule.t_start
+        st.ph.cur_amp <- 0.;
+        st.ph.cur_harvest_w <- 0.;
+        st.ph.next_change <- w.Schedule.t_start
       end
     end
   end
@@ -317,12 +344,12 @@ let refresh_attack st =
 let charge st dt =
   let v = Capacitor.voltage st.cap in
   let i =
-    Harvester.current st.board.Board.harvester ~time:st.time ~v
-    +. (st.cur_harvest_w /. max v 0.5)
+    Harvester.current st.board.Board.harvester ~time:st.ph.time ~v
+    +. (st.ph.cur_harvest_w /. max v 0.5)
   in
   Capacitor.source_current st.cap ~amps:i ~dt
 
-let bucket_index st = int_of_float (st.time /. st.tl_bucket)
+let bucket_index st = int_of_float (st.ph.time /. st.tl_bucket)
 
 let account_app_seconds st s =
   if st.tl_bucket > 0. then begin
@@ -337,7 +364,7 @@ let spend st cycles ~extra =
   let e = (float_of_int cycles *. epc st) +. extra in
   ignore (Capacitor.drain st.cap e);
   charge st dt;
-  st.time <- st.time +. dt
+  st.ph.time <- st.ph.time +. dt
 
 let nvm_extra st ~reads ~writes =
   (float_of_int reads *. st.k_nvm_read_e)
@@ -363,7 +390,7 @@ let sample_voltage st =
   match st.trace with
   | None -> ()
   | Some tr ->
-      Gecko_obs.Trace.counter tr ~cat:"energy" ~ts:st.time "cap_voltage"
+      Gecko_obs.Trace.counter tr ~cat:"energy" ~ts:st.ph.time "cap_voltage"
         (Capacitor.voltage st.cap)
 
 (* Voltage gauge sampling cadence on the trace (simulated time). *)
@@ -373,19 +400,19 @@ let trace_span st ~t0 ~cat name =
   match st.trace with
   | None -> ()
   | Some tr ->
-      Gecko_obs.Trace.complete tr ~cat ~ts:t0 ~dur:(st.time -. t0) name
+      Gecko_obs.Trace.complete tr ~cat ~ts:t0 ~dur:(st.ph.time -. t0) name
 
 let hist_observe h v =
   match h with None -> () | Some h -> Gecko_obs.Metrics.observe h v
 
 let record st kind =
   if st.opts.record_events then
-    st.events <- { ev_time = st.time; ev_kind = kind } :: st.events;
+    st.events <- { ev_time = st.ph.time; ev_kind = kind } :: st.events;
   if st.tracing then begin
     (match st.trace with
     | Some tr ->
         let name, cat = trace_ids kind in
-        Gecko_obs.Trace.instant tr ~cat ~ts:st.time name
+        Gecko_obs.Trace.instant tr ~cat ~ts:st.ph.time name
     | None -> ());
     sample_voltage st
   end;
@@ -403,10 +430,10 @@ let record st kind =
 
 let shutdown st =
   if st.tracing && st.powered then
-    trace_span st ~t0:st.boot_time ~cat:"power" "power_on";
+    trace_span st ~t0:st.ph.boot_time ~cat:"power" "power_on";
   st.powered <- false;
   Monitor.arm_wake st.monitor;
-  Monitor.sync st.monitor ~time:st.time;
+  Monitor.sync st.monitor ~time:st.ph.time;
   refresh_obs st
 
 let brownout st =
@@ -517,10 +544,10 @@ let jit_checkpoint_work st =
 (* The JIT checkpoint ISR latency — from backup signal to the ACK write
    (or the brownout that killed it) — is the window the attacker races. *)
 let jit_checkpoint st =
-  let t0 = st.time in
+  let t0 = st.ph.time in
   jit_checkpoint_work st;
   trace_span st ~t0 ~cat:"checkpoint" "jit_checkpoint_isr";
-  hist_observe st.hist_ckpt (st.time -. t0)
+  hist_observe st.hist_ckpt (st.ph.time -. t0)
 
 (* --- rollback recovery ----------------------------------------------- *)
 
@@ -596,10 +623,10 @@ let gecko_rollback_work st =
   end
 
 let gecko_rollback st =
-  let t0 = st.time in
+  let t0 = st.ph.time in
   gecko_rollback_work st;
   trace_span st ~t0 ~cat:"recovery" "rollback";
-  hist_observe st.hist_rollback (st.time -. t0)
+  hist_observe st.hist_rollback (st.ph.time -. t0)
 
 let ratchet_rollback_work st =
   let bid = Nvm.read st.nvm (sys_cell st Link.Cells.sys_boundary) - 1 in
@@ -623,10 +650,10 @@ let ratchet_rollback_work st =
   end
 
 let ratchet_rollback st =
-  let t0 = st.time in
+  let t0 = st.ph.time in
   ratchet_rollback_work st;
   trace_span st ~t0 ~cat:"recovery" "rollback";
-  hist_observe st.hist_rollback (st.time -. t0)
+  hist_observe st.hist_rollback (st.ph.time -. t0)
 
 let restore_jit st =
   record st Ev_restore_jit;
@@ -643,7 +670,7 @@ let restore_jit st =
 let handle_backup st =
   (match st.meta.Meta.scheme with
   | Scheme.Gecko | Scheme.Gecko_noprune ->
-      record st (Ev_backup_signal (st.time -. st.boot_time < st.t_min_on))
+      record st (Ev_backup_signal (st.ph.time -. st.ph.boot_time < st.t_min_on))
   | Scheme.Nvp | Scheme.Ratchet -> record st (Ev_backup_signal false));
   match st.meta.Meta.scheme with
   | Scheme.Nvp ->
@@ -654,7 +681,7 @@ let handle_backup st =
       spend st Cost.jit_isr_overhead_cycles ~extra:0.;
       shutdown st
   | Scheme.Gecko | Scheme.Gecko_noprune ->
-      let early = st.time -. st.boot_time < st.t_min_on in
+      let early = st.ph.time -. st.ph.boot_time < st.t_min_on in
       let mode', action, detected = Policy.on_backup_signal st.mode ~early in
       if detected then begin
         st.detections <- st.detections + 1;
@@ -721,14 +748,14 @@ let try_reboot st =
     let latency = (core st).Device.reboot_latency in
     ignore (Capacitor.drain st.cap (core st).Device.reboot_energy);
     charge st latency;
-    st.time <- st.time +. latency;
+    st.ph.time <- st.ph.time +. latency;
     if Capacitor.voltage st.cap > st.board.Board.v_off then begin
       st.boot_inhibited <- false;
       st.powered <- true;
       st.progress_written <- false;
-      st.boot_time <- st.time;
+      st.ph.boot_time <- st.ph.time;
       Monitor.arm_backup st.monitor;
-      Monitor.sync st.monitor ~time:st.time;
+      Monitor.sync st.monitor ~time:st.ph.time;
       record st (Ev_boot st.mode);
       boot_protocol st;
       refresh_obs st
@@ -758,7 +785,7 @@ let complete st =
   end;
   st.completions <- st.completions + 1;
   record st Ev_completion;
-  st.completion_times <- st.time :: st.completion_times;
+  st.completion_times <- st.ph.time :: st.completion_times;
   if st.tl_bucket > 0. then begin
     let i = bucket_index st in
     if i >= 0 && i < Array.length st.tl_comp then
@@ -907,20 +934,20 @@ let step_instr st =
   | Link.Lhalt ->
       spend st 1 ~extra:0.;
       complete st);
-  if st.tracing && st.time >= st.next_vsample then begin
+  if st.tracing && st.ph.time >= st.ph.next_vsample then begin
     sample_voltage st;
-    st.next_vsample <- st.time +. vsample_period
+    st.ph.next_vsample <- st.ph.time +. vsample_period
   end;
   if st.powered && not st.stop then begin
     if Capacitor.voltage st.cap <= st.k_v_off then brownout st
-    else if st.time >= st.next_obs then begin
+    else if st.ph.time >= st.ph.next_obs then begin
       (* Between ADC sampling ticks every observe call returns [None]
          without touching monitor state, so the calls are skipped
          wholesale; the comparator kind is latency-sensitive and keeps
          per-instruction observation ([next_obs] = -inf). *)
       (match
-         Monitor.observe st.monitor ~time:st.time
-           ~v_true:(Capacitor.voltage st.cap) ~disturbance:st.cur_amp
+         Monitor.observe st.monitor ~time:st.ph.time
+           ~v_true:(Capacitor.voltage st.cap) ~disturbance:st.ph.cur_amp
        with
       | Some Monitor.Backup -> handle_backup st
       | Some Monitor.Wake | None -> ());
@@ -928,6 +955,487 @@ let step_instr st =
     end
   end
   end
+
+(* --- pre-decoded block dispatcher ------------------------------------ *)
+
+(* One instruction's physics on the fast path: the exact float sequence
+   of [spend] with [Capacitor.drain]/[charge] inlined (without flambda a
+   cross-module call costs more than the float work it wraps).  Every
+   expression replicates capacitor.ml / harvester.ml operation for
+   operation, so the voltage trajectory is bit-identical to the checked
+   path's.  [min]/[max] are spelled as float comparisons — same result
+   as the polymorphic stdlib versions on the non-NaN values involved.
+   When no attack window is harvesting, [cur_harvest_w = 0.] and the
+   harvester current is >= +0., so skipping the [+. 0.] term cannot
+   change a bit. *)
+let spend_fast st dt e c =
+  st.instrs <- st.instrs + 1;
+  let cap = st.cap in
+  let ph = st.ph in
+  let open Capacitor in
+  let v0 = cap.voltage in
+  let v1 =
+    if e > 0. then begin
+      let stored = 0.5 *. cap.capacitance *. v0 *. v0 in
+      let removed = if e <= stored then e else stored in
+      let v = sqrt (2. *. (stored -. removed) /. cap.capacitance) in
+      cap.voltage <- v;
+      cap.drained_total <- cap.drained_total +. removed;
+      v
+    end
+    else v0
+  in
+  let i =
+    if st.k_harv_const then ph.k_harv_pw /. (if v1 >= 0.5 then v1 else 0.5)
+    else Harvester.current st.k_harv ~time:ph.time ~v:v1
+  in
+  let i =
+    if ph.cur_harvest_w > 0. then
+      i +. (ph.cur_harvest_w /. (if v1 >= 0.5 then v1 else 0.5))
+    else i
+  in
+  if i > 0. && dt > 0. then begin
+    let e0 = 0.5 *. cap.capacitance *. v1 *. v1 in
+    let dv = i *. dt /. cap.capacitance in
+    let v' = v1 +. dv in
+    let v2 = if cap.v_max <= v' then cap.v_max else v' in
+    cap.voltage <- v2;
+    cap.sourced_total <-
+      cap.sourced_total +. ((0.5 *. cap.capacitance *. v2 *. v2) -. e0)
+  end;
+  ph.time <- ph.time +. dt;
+  (* [c] is the instruction's application-cycle count, 0 for
+     compiler-inserted instrumentation (whose cycles the caller books
+     under [instrumentation_cycles]); folding the accounting in here
+     keeps the dispatcher at one call per instruction, which without
+     flambda is a measurable share of the loop. *)
+  st.app_cycles <- st.app_cycles + c;
+  if st.k_tl_on && c > 0 then account_app_seconds st dt
+
+(* Region commits are the one per-instruction-path op the block
+   dispatcher cannot batch (solo slot, data-dependent cost) yet by far
+   the most frequent slow step: every region boundary of a healthy run
+   lands here.  In the steady state — progress flag already written,
+   nothing staged for commit, policy mode unchanged by the commit — a
+   boundary's cost is exactly its decoded [dt]/[en] (the commit write
+   is already in the decoder's NVM-write count), so the same O(1)
+   guard used for blocks proves the hoisted checks are no-ops and the
+   commit semantics run verbatim.  Any other situation (first boundary
+   of a power cycle, staged io_log records, Probe re-enable, rollback
+   modes) falls back to the fully-checked path untouched. *)
+let try_fast_solo st pc id =
+  (if st.progress_written then
+     match st.meta.Meta.scheme with
+     | Scheme.Nvp | Scheme.Ratchet -> true
+     | Scheme.Gecko | Scheme.Gecko_noprune ->
+         (match st.io_staged with [] -> true | _ :: _ -> false)
+         && Policy.on_region_commit st.mode = st.mode
+   else false)
+  &&
+  let d = st.dec in
+  let dt = Array.unsafe_get d.Decode.dt pc in
+  let en = Array.unsafe_get d.Decode.en pc in
+  let ph = st.ph in
+  let t_end = ((ph.time +. dt) *. 1.000000000001) +. 1e-18 in
+  if t_end >= st.k_time_limit || t_end >= ph.next_change then false
+  else
+    let e_need = (en *. 1.000001) +. 1e-18 in
+    let e_rem = Capacitor.energy st.cap -. e_need in
+    if e_rem <= (st.k_e_off *. 1.000001) +. 1e-18 then false
+    else
+      let mon_ok =
+        t_end < ph.next_obs
+        || ph.next_obs = neg_infinity
+           && Monitor.quiescent st.monitor
+                ~v_min:
+                  (sqrt (2. *. e_rem /. Capacitor.capacitance st.cap)
+                  *. 0.999999)
+                ~disturbance:ph.cur_amp
+      in
+      if not mon_ok then false
+      else begin
+        spend_fast st dt en 0;
+        Nvm.write st.nvm (sys_cell st Link.Cells.sys_boundary) (id + 1);
+        flight_note st ~arg:id "boundary";
+        (match st.meta.Meta.scheme with
+        | Scheme.Ratchet ->
+            let parity = Nvm.read st.nvm (sys_cell st Link.Cells.sys_parity) in
+            Nvm.write st.nvm (sys_cell st Link.Cells.sys_parity) (1 - parity)
+        | Scheme.Nvp | Scheme.Gecko | Scheme.Gecko_noprune -> ());
+        st.instrumentation_cycles <-
+          st.instrumentation_cycles + Array.unsafe_get d.Decode.cyc pc;
+        st.pc <- pc + 1;
+        true
+      end
+
+(* Run the decoded slots [pc, endp) with the per-instruction checks
+   hoisted out (the block guard proved them all no-ops).  Register
+   indices come from the decoder, which only emits indices below
+   [Reg.count], so unchecked array access is safe.  The loop is a local
+   tail-recursive function: without flambda a [ref] loop counter lives
+   in memory, while a tail-call argument stays in a register.  Arms
+   that transfer control set [st.pc] and simply do not recurse. *)
+let exec_block st pc endp =
+  let d = st.dec in
+  let ops = d.Decode.ops in
+  let dta = d.Decode.dt in
+  let ena = d.Decode.en in
+  let cyc = d.Decode.cyc in
+  let regs = st.regs in
+  let nvm = st.nvm in
+  let rec go s =
+    if s >= endp then st.pc <- s
+    else
+      match Array.unsafe_get ops s with
+    | Decode.M_li (dd, v) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd v;
+        go (s + 1)
+    | Decode.M_mov (dd, sv) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd (Array.unsafe_get regs sv);
+        go (s + 1)
+    | Decode.M_bin_rr (op, dd, a, b) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a)
+             (Array.unsafe_get regs b));
+        go (s + 1)
+    | Decode.M_bin_ri (op, dd, a, v) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a) v);
+        go (s + 1)
+    | Decode.M_ld (dd, addr) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd (Nvm.read nvm addr);
+        go (s + 1)
+    | Decode.M_ld_dyn (dd, base, r) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd (Nvm.read nvm (base + Array.unsafe_get regs r));
+        go (s + 1)
+    | Decode.M_st (addr, sv) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Nvm.write nvm addr (Array.unsafe_get regs sv);
+        go (s + 1)
+    | Decode.M_st_dyn (base, r, sv) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Nvm.write nvm (base + Array.unsafe_get regs r) (Array.unsafe_get regs sv);
+        go (s + 1)
+    | Decode.M_in (dd, port) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd (io_in_value st port);
+        go (s + 1)
+    | Decode.M_out (port, sv) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        st.io_out_count <- st.io_out_count + 1;
+        (if st.opts.record_io then
+           if monitor_is_gecko st then
+             st.io_staged <- (port, Array.unsafe_get regs sv) :: st.io_staged
+           else st.io_log <- (port, Array.unsafe_get regs sv) :: st.io_log);
+        go (s + 1)
+    | Decode.M_nop ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        go (s + 1)
+    | Decode.M_ckpt (addr, src) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s) 0;
+        Nvm.write nvm addr (Array.unsafe_get regs src);
+        st.instrumentation_cycles <-
+          st.instrumentation_cycles + Array.unsafe_get cyc s;
+        go (s + 1)
+    | Decode.M_ckptdyn (src, parity_addr, cell_base) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s) 0;
+        let parity = Nvm.read nvm parity_addr in
+        Nvm.write nvm
+          (cell_base + ((1 - parity) * Reg.count))
+          (Array.unsafe_get regs src);
+        st.instrumentation_cycles <-
+          st.instrumentation_cycles + Array.unsafe_get cyc s;
+        go (s + 1)
+    | Decode.M_ldslot (dd, addr) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s) 0;
+        Array.unsafe_set regs dd (Nvm.read nvm addr);
+        st.instrumentation_cycles <-
+          st.instrumentation_cycles + Array.unsafe_get cyc s;
+        go (s + 1)
+    | Decode.M_jmp t ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        st.pc <- t
+    | Decode.M_br (cond, r, t, e) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        st.pc <-
+          (if Instr.eval_cond cond (Array.unsafe_get regs r) then t else e)
+    | Decode.M_call (target, ret) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        let spi = Reg.to_int Reg.sp in
+        let sp = regs.(spi) in
+        Nvm.write nvm (st.image.Link.stack_base + sp) ret;
+        regs.(spi) <- sp - 1;
+        st.pc <- target
+    | Decode.M_ret ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        let spi = Reg.to_int Reg.sp in
+        let sp = regs.(spi) + 1 in
+        regs.(spi) <- sp;
+        st.pc <- Nvm.read nvm (st.image.Link.stack_base + sp)
+    | Decode.M_boundary _ | Decode.M_halt ->
+        (* Solo slots never pass the block guard; if control ever lands
+           here the slot is replayed on the checked path untouched. *)
+        st.pc <- s
+    | Decode.M_f_ld_op_rr (d1, addr, op, d2, a2, b2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1 (Nvm.read nvm addr);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op (Array.unsafe_get regs a2)
+             (Array.unsafe_get regs b2));
+        go (s + 2)
+    | Decode.M_f_ld_op_ri (d1, addr, op, d2, a2, v) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1 (Nvm.read nvm addr);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op (Array.unsafe_get regs a2) v);
+        go (s + 2)
+    | Decode.M_f_op_st_rr (op, dd, a, b, addr) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a)
+             (Array.unsafe_get regs b));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Nvm.write nvm addr (Array.unsafe_get regs dd);
+        go (s + 2)
+    | Decode.M_f_op_st_ri (op, dd, a, v, addr) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a) v);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Nvm.write nvm addr (Array.unsafe_get regs dd);
+        go (s + 2)
+    | Decode.M_f_cmp_br_rr (op, dd, a, b, cond, t, e) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a)
+             (Array.unsafe_get regs b));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        st.pc <-
+          (if Instr.eval_cond cond (Array.unsafe_get regs dd) then t else e)
+    | Decode.M_f_cmp_br_ri (op, dd, a, v, cond, t, e) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs dd
+          (Instr.eval_binop op (Array.unsafe_get regs a) v);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        st.pc <-
+          (if Instr.eval_cond cond (Array.unsafe_get regs dd) then t else e)
+    | Decode.M_f_lddyn_op_rr (d1, base, r, op, d2, a2, b2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1 (Nvm.read nvm (base + Array.unsafe_get regs r));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op (Array.unsafe_get regs a2)
+             (Array.unsafe_get regs b2));
+        go (s + 2)
+    | Decode.M_f_lddyn_op_ri (d1, base, r, op, d2, a2, v) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1 (Nvm.read nvm (base + Array.unsafe_get regs r));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op (Array.unsafe_get regs a2) v);
+        go (s + 2)
+    | Decode.M_f_op_op_rr_rr (op1, d1, a1, b1, op2, d2, a2, b2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1
+          (Instr.eval_binop op1 (Array.unsafe_get regs a1)
+             (Array.unsafe_get regs b1));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op2 (Array.unsafe_get regs a2)
+             (Array.unsafe_get regs b2));
+        go (s + 2)
+    | Decode.M_f_op_op_rr_ri (op1, d1, a1, b1, op2, d2, a2, v2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1
+          (Instr.eval_binop op1 (Array.unsafe_get regs a1)
+             (Array.unsafe_get regs b1));
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op2 (Array.unsafe_get regs a2) v2);
+        go (s + 2)
+    | Decode.M_f_op_op_ri_rr (op1, d1, a1, v1, op2, d2, a2, b2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1
+          (Instr.eval_binop op1 (Array.unsafe_get regs a1) v1);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op2 (Array.unsafe_get regs a2)
+             (Array.unsafe_get regs b2));
+        go (s + 2)
+    | Decode.M_f_op_op_ri_ri (op1, d1, a1, v1, op2, d2, a2, v2) ->
+        spend_fast st (Array.unsafe_get dta s) (Array.unsafe_get ena s)
+          (Array.unsafe_get cyc s);
+        Array.unsafe_set regs d1
+          (Instr.eval_binop op1 (Array.unsafe_get regs a1) v1);
+        let s1 = s + 1 in
+        spend_fast st (Array.unsafe_get dta s1) (Array.unsafe_get ena s1)
+          (Array.unsafe_get cyc s1);
+        Array.unsafe_set regs d2
+          (Instr.eval_binop op2 (Array.unsafe_get regs a2) v2);
+        go (s + 2)
+  in
+  go pc
+
+(* Block-entry guard: prove that from [pc] to its block end none of the
+   per-instruction checks — time limit, attack-window edge, brownout,
+   monitor sample / comparator — can fire, then run the whole stretch
+   with those checks hoisted out.  The per-instruction physics are
+   untouched, so a fast block is bit-identical to the same slots stepped
+   one at a time; the only drift is the [Monitor.observations] count of
+   skipped no-op comparator observes, which nothing reads back.  The
+   suffix totals are one rounded sum while the loop accumulates step by
+   step, so every comparison carries a small conservative slack — a
+   spurious guard failure just falls back to the checked path. *)
+(* Full-block guard failed (a monitor sample, attack edge, limit or
+   low-energy point lands inside the block): batch the longest prefix
+   that provably finishes before the earliest such point instead of
+   surrendering the whole block to the single-step path.  The walk
+   follows the execution path from [pc] by superinstruction width, so
+   the prefix always ends exactly where control would land — a fused
+   pair never straddles the cut.  Prefix totals are differences of the
+   decoder's suffix sums; the same relative margins as the full guard
+   absorb the extra rounding.  Comparator monitors (next_obs = -inf)
+   are handled by the full guard's quiescence proof only — a failed
+   proof means per-instruction observation really is required. *)
+let try_fast_prefix st pc =
+  let d = st.dec in
+  let ph = st.ph in
+  if ph.next_obs = neg_infinity then false
+  else
+    let lim_t =
+      let l = if st.k_time_limit <= ph.next_change then st.k_time_limit
+              else ph.next_change in
+      if ph.next_obs <= l then ph.next_obs else l
+    in
+    let endp = Array.unsafe_get d.Decode.blk_end pc in
+    let dsfx0 = Array.unsafe_get d.Decode.dt_sfx pc in
+    let esfx0 = Array.unsafe_get d.Decode.e_sfx pc in
+    let e_cap = Capacitor.energy st.cap in
+    let e_floor = (st.k_e_off *. 1.000001) +. 1e-18 in
+    let ops = d.Decode.ops in
+    let m = ref pc in
+    let go_on = ref true in
+    while !go_on && !m < endp do
+      let nxt = !m + Decode.width (Array.unsafe_get ops !m) in
+      let dt_pre =
+        dsfx0
+        -. (if nxt >= endp then 0. else Array.unsafe_get d.Decode.dt_sfx nxt)
+      in
+      let e_pre =
+        esfx0
+        -. (if nxt >= endp then 0. else Array.unsafe_get d.Decode.e_sfx nxt)
+      in
+      let t_end = ((ph.time +. dt_pre) *. 1.000000000001) +. 1e-18 in
+      let e_need = (e_pre *. 1.000001) +. 1e-18 in
+      if t_end < lim_t && e_cap -. e_need > e_floor then m := nxt
+      else go_on := false
+    done;
+    if !m > pc then begin
+      exec_block st pc !m;
+      true
+    end
+    else false
+
+let try_fast_block st =
+  let d = st.dec in
+  let pc = st.pc in
+  if pc < 0 || pc >= d.Decode.n_ops then false
+  else
+    let e_sfx = Array.unsafe_get d.Decode.e_sfx pc in
+    if e_sfx = infinity then
+      (* Solo slot: steady-state region commits still get the O(1)
+         guard treatment; everything else single-steps. *)
+      (match Array.unsafe_get d.Decode.ops pc with
+      | Decode.M_boundary id -> try_fast_solo st pc id
+      | _ -> false)
+    else
+      let ph = st.ph in
+      let t_end =
+        ((ph.time +. Array.unsafe_get d.Decode.dt_sfx pc) *. 1.000000000001)
+        +. 1e-18
+      in
+      if t_end >= st.k_time_limit || t_end >= ph.next_change then
+        try_fast_prefix st pc
+      else
+        let e_need = (e_sfx *. 1.000001) +. 1e-18 in
+        let e_rem = Capacitor.energy st.cap -. e_need in
+        if e_rem <= (st.k_e_off *. 1.000001) +. 1e-18 then
+          try_fast_prefix st pc
+        else if t_end < ph.next_obs then begin
+          exec_block st pc (Array.unsafe_get d.Decode.blk_end pc);
+          true
+        end
+        else if ph.next_obs = neg_infinity then begin
+          (* Comparator monitor: every in-block voltage stays above
+             [v_min]; ask the monitor whether all observes at or above
+             it are provably no-ops. *)
+          let v_min =
+            sqrt (2. *. e_rem /. Capacitor.capacitance st.cap) *. 0.999999
+          in
+          if Monitor.quiescent st.monitor ~v_min ~disturbance:ph.cur_amp
+          then begin
+            exec_block st pc (Array.unsafe_get d.Decode.blk_end pc);
+            true
+          end
+          else false
+        end
+        else try_fast_prefix st pc
 
 let step_sleep st =
   refresh_attack st;
@@ -940,13 +1448,13 @@ let step_sleep st =
   in
   ignore (Capacitor.drain st.cap (sleep_draw *. dt));
   charge st dt;
-  st.time <- st.time +. dt;
-  if st.time < st.next_wake_check then ()
+  st.ph.time <- st.ph.time +. dt;
+  if st.ph.time < st.ph.next_wake_check then ()
   else begin
-  st.next_wake_check <- st.time +. wake_poll;
-  if st.tracing && st.time >= st.next_vsample then begin
+  st.ph.next_wake_check <- st.ph.time +. wake_poll;
+  if st.tracing && st.ph.time >= st.ph.next_vsample then begin
     sample_voltage st;
-    st.next_vsample <- st.time +. vsample_period
+    st.ph.next_vsample <- st.ph.time +. vsample_period
   end;
   let monitor_wake =
     match st.meta.Meta.scheme with
@@ -955,8 +1463,8 @@ let step_sleep st =
   in
   if monitor_wake then begin
     match
-      Monitor.observe st.monitor ~time:st.time
-        ~v_true:(Capacitor.voltage st.cap) ~disturbance:st.cur_amp
+      Monitor.observe st.monitor ~time:st.ph.time
+        ~v_true:(Capacitor.voltage st.cap) ~disturbance:st.ph.cur_amp
     with
     | Some Monitor.Wake -> try_reboot st
     | Some Monitor.Backup | None -> ()
@@ -1012,18 +1520,42 @@ let make_state ~board ~image ~meta opts =
       k_nvm_write_e = device.Device.core.Device.nvm_write_energy;
       k_sleep_power = device.Device.core.Device.sleep_power;
       k_v_off = board.Board.v_off;
+      k_e_off =
+        Capacitor.stored_energy_at ~capacitance:board.Board.capacitance
+          board.Board.v_off;
+      k_harv = board.Board.harvester;
+      k_harv_const =
+        (match Harvester.constant_power_watts board.Board.harvester with
+        | Some _ -> true
+        | None -> false);
+      k_tl_on = tl_bucket > 0.;
+      ph =
+        {
+          time = 0.;
+          cur_amp = 0.;
+          cur_harvest_w = 0.;
+          next_change = neg_infinity;
+          next_obs = neg_infinity;
+          next_vsample = 0.;
+          boot_time = 0.;
+          next_wake_check = 0.;
+          k_harv_pw =
+            (match Harvester.constant_power_watts board.Board.harvester with
+            | Some p -> p
+            | None -> 0.);
+        };
+      dec =
+        (match opts.decoded with
+        | Some d when d.Decode.image == image -> d
+        | Some _ | None -> Decode.decode ~device image);
+      fast_enabled = opts.fast;
       rng_io = Gecko_util.Rng.create 0;
       regs = Array.make Reg.count 0;
       pc = image.Link.entry;
       powered = opts.start_charged;
-      time = 0.;
       mode = Policy.Jit_on;
       windows = Array.of_list (Schedule.windows opts.schedule);
       win_idx = 0;
-      cur_amp = 0.;
-      cur_harvest_w = 0.;
-      next_change = neg_infinity;
-      next_obs = neg_infinity;
       instrs = 0;
       injector = None;
       k_time_limit =
@@ -1034,8 +1566,6 @@ let make_state ~board ~image ~meta opts =
       hit_limit = false;
       progress_written = false;
       boot_inhibited = false;
-      boot_time = 0.;
-      next_wake_check = 0.;
       t_min_on =
         0.5 *. float_of_int (Board.budget_cycles board)
         *. Device.cycle_time board.Board.device;
@@ -1073,7 +1603,6 @@ let make_state ~board ~image ~meta opts =
         (match opts.flight with
         | Some fl when Gecko_obs.Flight.enabled fl -> Some fl
         | Some _ | None -> None);
-      next_vsample = 0.;
       hist_ckpt =
         Option.map
           (fun reg -> Gecko_obs.Metrics.histogram reg "machine.jit_checkpoint_isr_s")
@@ -1133,7 +1662,7 @@ let export_metrics st =
       c "monitor.observations" (Monitor.observations st.monitor);
       c "monitor.fires" (Monitor.fires st.monitor);
       let g name v = Mx.set_gauge (Mx.gauge reg name) v in
-      g "machine.sim_time_s" st.time;
+      g "machine.sim_time_s" st.ph.time;
       g "machine.app_seconds" (float_of_int st.app_cycles *. cycle_time st);
       g "machine.cap_voltage_final_v" (Capacitor.voltage st.cap);
       g "energy.drained_j" (Capacitor.energy_drained_total st.cap);
@@ -1145,7 +1674,7 @@ let finish st =
   {
     completions = st.completions;
     completion_times = List.rev st.completion_times;
-    sim_time = st.time;
+    sim_time = st.ph.time;
     instructions = st.instrs;
     app_cycles = st.app_cycles;
     app_seconds = float_of_int st.app_cycles *. cycle_time st;
@@ -1177,7 +1706,7 @@ let finish st =
 
 let step_once st =
   if st.stop then false
-  else if st.time >= st.k_time_limit then begin
+  else if st.ph.time >= st.k_time_limit then begin
     st.stop <- true;
     st.hit_limit <-
       (match st.opts.limit with Sim_time _ -> true | Completions _ -> false);
@@ -1188,8 +1717,22 @@ let step_once st =
     not st.stop
   end
 
+(* Main loop: whole decoded blocks whenever the guard holds; otherwise
+   (injector armed, tracing, low energy, pending monitor/attack/limit
+   event, solo slot, sleeping) one fully-checked step.  [Step.step]
+   clients keep the per-instruction path — fault-injection sites are
+   per instruction by definition. *)
 let run_state st =
-  while step_once st do () done;
+  let continue_ = ref true in
+  while !continue_ do
+    if
+      st.fast_enabled && st.powered && (not st.stop)
+      && (match st.injector with None -> true | Some _ -> false)
+      && (not st.tracing)
+      && try_fast_block st
+    then ()
+    else continue_ := step_once st
+  done;
   finish st
 
 let run ~board ~image ~meta opts =
@@ -1205,7 +1748,7 @@ module Step = struct
   let set_injector st f = st.injector <- f
   let step = step_once
   let finished st = st.stop
-  let time st = st.time
+  let time st = st.ph.time
   let instructions st = st.instrs
   let powered st = st.powered
   let mode st = st.mode

@@ -90,6 +90,18 @@ type options = {
           Pure observation: runs with and without a recorder are
           semantically identical.  [None] (the default) or a disabled
           recorder keeps the plain path. *)
+  fast : bool;
+      (** [true] (the default) dispatches through the pre-decoded block
+          stream whenever the block guard holds; [false] forces the
+          per-instruction checked path everywhere.  Outcomes are
+          identical either way — the switch exists for differential
+          tests and debugging. *)
+  decoded : Decode.t option;
+      (** A cached {!Decode.decode} of the run's image (see the
+          Workbench decode cache).  [None] (the default) decodes at
+          [run] time — O(code size), irrelevant for all but the
+          shortest runs.  A value decoded from a different image or
+          device is ignored. *)
 }
 
 val default_options : options

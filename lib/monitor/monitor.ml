@@ -112,6 +112,27 @@ let next_sample_time t =
     | Adc { sample_period } -> t.last_tick +. sample_period
     | Comparator _ -> neg_infinity
 
+(* Batched-integration entry point for block-level dispatch: [true] when
+   every [observe] over a stretch whose true voltage stays at or above
+   [v_min] (with constant [disturbance]) is guaranteed to return [None]
+   without changing any state an [observe]/[next_sample_time] sequence
+   could later act on, so the per-instruction calls may be skipped
+   wholesale.  For the comparator that means: armed on backup, no
+   pending condition onset, and the worst-case disturbed reading still
+   above the backup threshold — each skipped observe would have taken
+   the condition-false branch, which resets [cond_since] to the [None]
+   it already is.  Only the [observations] count differs, and nothing
+   reads it back.  The ADC kind is paced by [next_sample_time] instead
+   and always answers [false] here. *)
+let quiescent t ~v_min ~disturbance =
+  (not t.enabled)
+  ||
+  match t.kind with
+  | Adc _ -> false
+  | Comparator _ ->
+      t.arm = Watch_backup && t.cond_since = None
+      && v_min -. disturbance >= t.th.v_backup
+
 let observe t ~time ~v_true ~disturbance =
   t.observations <- t.observations + 1;
   match observe_armed t ~time ~v_true ~disturbance with

@@ -60,6 +60,16 @@ val next_sample_time : t -> float
     and {!sync} push it forward), so a cached copy is safe until the
     monitor is re-enabled or observed again. *)
 
+val quiescent : t -> v_min:float -> disturbance:float -> bool
+(** [quiescent t ~v_min ~disturbance] is [true] when every {!observe}
+    over a stretch whose true voltage stays at or above [v_min] (with
+    constant [disturbance]) is guaranteed to return [None] without
+    changing any state a later {!observe} or {!next_sample_time} could
+    act on, so a block dispatcher may skip the per-instruction calls
+    wholesale.  Only meaningful for the comparator kind — the ADC kind
+    is already paced by {!next_sample_time} and always answers [false]
+    here.  Skipped calls are not counted in {!observations}. *)
+
 val reset : t -> unit
 (** Forget pending condition timing (used at reboot). *)
 

@@ -1,0 +1,371 @@
+(* Properties of the pre-decode pass (Decode) and differentials of the
+   decoded fast path against both the frozen reference interpreter and
+   the machine's own checked path.
+
+   This executable flips [GECKO_CHECKED] on before anything touches NVM,
+   so every run here exercises the fast dispatcher with per-access NVM
+   range validation enabled — the configuration the plain test
+   executables never see (their Nvm instances latch the unchecked
+   default). *)
+
+let () = Unix.putenv "GECKO_CHECKED" "1"
+
+open Gecko_isa
+module Core = Gecko_core
+module M = Gecko_machine
+module D = Gecko_machine.Decode
+module H = Gecko_energy.Harvester
+
+let compile scheme seed =
+  let p, meta = Core.Pipeline.compile scheme (Gen_prog.generate seed) in
+  (Link.link p, meta)
+
+let scheme_of seed =
+  List.nth
+    [ Core.Scheme.Nvp; Core.Scheme.Ratchet; Core.Scheme.Gecko_noprune;
+      Core.Scheme.Gecko ]
+    (seed mod 4)
+
+let seed_gen = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 99999)
+
+(* --- decode structure ------------------------------------------------- *)
+
+(* Structural equality of two decodes, field by field.  [image] is
+   deliberately excluded: provenance is compared by physical equality in
+   the machine, and both sides here decode the same image anyway. *)
+let dec_eq (a : D.t) (b : D.t) =
+  a.D.ops = b.D.ops && a.D.dt = b.D.dt && a.D.en = b.D.en && a.D.cyc = b.D.cyc
+  && a.D.block_start = b.D.block_start
+  && a.D.blk_end = b.D.blk_end && a.D.e_sfx = b.D.e_sfx
+  && a.D.dt_sfx = b.D.dt_sfx && a.D.n_ops = b.D.n_ops
+  && a.D.n_fused = b.D.n_fused
+  && a.D.n_blocks = b.D.n_blocks
+
+let decode_of_seed seed =
+  let image, _meta = compile (scheme_of seed) seed in
+  let device = (M.Board.default ()).M.Board.device in
+  (image, D.decode ~device image)
+
+(* Decode is total on every generated program x scheme and lowers each
+   linked instruction to exactly one slot; boundaries survive 1:1 (a
+   fused pair rewrites only its first slot, the second keeps its
+   original op, so nothing disappears from the stream). *)
+let prop_decode_total_counts =
+  QCheck.Test.make ~count:100
+    ~name:"decode is total and preserves instruction/boundary counts"
+    seed_gen (fun seed ->
+      let image, d = decode_of_seed seed in
+      let code = image.Link.code in
+      let boundaries_src =
+        Array.fold_left
+          (fun acc li ->
+            match li with
+            | Link.Op (Instr.Boundary _) -> acc + 1
+            | _ -> acc)
+          0 code
+      in
+      let boundaries_dec =
+        Array.fold_left
+          (fun acc op -> match op with D.M_boundary _ -> acc + 1 | _ -> acc)
+          0 d.D.ops
+      in
+      d.D.n_ops = Array.length code
+      && Array.length d.D.ops = d.D.n_ops
+      && boundaries_dec = boundaries_src
+      && d.D.n_blocks > 0
+      && d.D.n_fused >= 0 && d.D.n_fused <= d.D.n_ops)
+
+(* A fused superinstruction retires two source instructions in one
+   dispatch, so control must never be able to (or required to) stop
+   between its halves: the second half is never a block start, and the
+   pair sits strictly inside its basic block. *)
+let prop_fusion_respects_splits =
+  QCheck.Test.make ~count:100
+    ~name:"fusion never crosses a block split" seed_gen (fun seed ->
+      let _image, d = decode_of_seed seed in
+      let ok = ref true in
+      Array.iteri
+        (fun i op ->
+          if D.width op = 2 then
+            if
+              i + 1 >= d.D.n_ops
+              || d.D.block_start.(i + 1)
+              || d.D.blk_end.(i) < i + 2
+              || D.solo op
+            then ok := false)
+        d.D.ops;
+      !ok)
+
+(* Same image, same device -> bit-identical decode, and the Workbench
+   cache returns the one memoized value (physical equality) that is
+   itself equal to a fresh decode. *)
+let prop_decode_deterministic =
+  QCheck.Test.make ~count:60 ~name:"decode is deterministic" seed_gen
+    (fun seed ->
+      let image, d1 = decode_of_seed seed in
+      let device = (M.Board.default ()).M.Board.device in
+      dec_eq d1 (D.decode ~device image))
+
+let prop_decode_cache_hit =
+  QCheck.Test.make ~count:40
+    ~name:"workbench decode cache hit equals a fresh decode" seed_gen
+    (fun seed ->
+      let scheme = scheme_of seed in
+      let prog = Gen_prog.generate seed in
+      let board = M.Board.default () in
+      let image, _meta, dec1 = Gecko_harness.Workbench.decoded scheme prog ~board in
+      let _, _, dec2 = Gecko_harness.Workbench.decoded scheme prog ~board in
+      dec2 == dec1
+      && dec1.D.image == image
+      && dec_eq dec1 (D.decode ~device:board.M.Board.device image))
+
+(* --- differentials under GECKO_CHECKED ------------------------------- *)
+
+(* Outage-prone board as in test_props: tiny storage, weak harvester. *)
+let crashy_board () =
+  let device =
+    let d = Gecko_devices.Catalog.evaluation_board in
+    {
+      d with
+      Gecko_devices.Device.core =
+        {
+          d.Gecko_devices.Device.core with
+          Gecko_devices.Device.reboot_latency = 2e-4;
+          reboot_energy = 6e-7;
+        };
+    }
+  in
+  {
+    (M.Board.default ~device
+       ~harvester:(H.thevenin ~v_source:3.3 ~r_source:2000.) ())
+    with
+    M.Board.capacitance = 0.6e-6;
+  }
+
+let norm (o : M.Machine.outcome) =
+  ( ( o.M.Machine.completions,
+      o.M.Machine.completion_times,
+      o.M.Machine.sim_time,
+      o.M.Machine.app_cycles,
+      o.M.Machine.app_seconds,
+      o.M.Machine.instrumentation_cycles ),
+    ( o.M.Machine.jit_checkpoints,
+      o.M.Machine.jit_checkpoint_failures,
+      o.M.Machine.reboots,
+      o.M.Machine.brownouts,
+      o.M.Machine.detections,
+      o.M.Machine.reenables ),
+    ( o.M.Machine.rollbacks,
+      o.M.Machine.recovery_block_runs,
+      o.M.Machine.corruptions,
+      o.M.Machine.io_out_count,
+      o.M.Machine.io_log,
+      o.M.Machine.final_mode ),
+    List.map (Format.asprintf "%a" M.Machine.pp_event) o.M.Machine.events,
+    o.M.Machine.hit_limit )
+
+let norm_ref (o : Ref_machine.outcome) =
+  ( ( o.Ref_machine.completions,
+      o.Ref_machine.completion_times,
+      o.Ref_machine.sim_time,
+      o.Ref_machine.app_cycles,
+      o.Ref_machine.app_seconds,
+      o.Ref_machine.instrumentation_cycles ),
+    ( o.Ref_machine.jit_checkpoints,
+      o.Ref_machine.jit_checkpoint_failures,
+      o.Ref_machine.reboots,
+      o.Ref_machine.brownouts,
+      o.Ref_machine.detections,
+      o.Ref_machine.reenables ),
+    ( o.Ref_machine.rollbacks,
+      o.Ref_machine.recovery_block_runs,
+      o.Ref_machine.corruptions,
+      o.Ref_machine.io_out_count,
+      o.Ref_machine.io_log,
+      o.Ref_machine.final_mode ),
+    List.map (Format.asprintf "%a" Ref_machine.pp_event) o.Ref_machine.events,
+    o.Ref_machine.hit_limit )
+
+(* The decoded fast path must match the frozen reference with NVM range
+   checking live — same EMI schedule, crash-prone board. *)
+let prop_checked_matches_reference =
+  QCheck.Test.make ~count:16
+    ~name:"fast path matches the reference under GECKO_CHECKED" seed_gen
+    (fun seed ->
+      let scheme = scheme_of seed in
+      let image, meta = compile scheme seed in
+      let board = crashy_board () in
+      let o =
+        M.Machine.run ~board ~image ~meta
+          {
+            M.Machine.default_options with
+            limit = M.Machine.Sim_time 0.15;
+            max_sim_time = 0.2;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+          }
+      in
+      let r =
+        Ref_machine.run ~board ~image ~meta
+          {
+            Ref_machine.default_options with
+            Ref_machine.limit = Ref_machine.Sim_time 0.15;
+            max_sim_time = 0.2;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+          }
+      in
+      norm o = norm_ref r)
+
+(* Genuine mid-run power failures: the supply is gated by a square wave,
+   so the capacitor collapses and recovers repeatedly.  Rollback and
+   replay through the decoded dispatcher must retrace the reference
+   exactly, including the final NVM data segment. *)
+let prop_outage_matches_reference =
+  QCheck.Test.make ~count:12
+    ~name:"fast path matches the reference across power failures" seed_gen
+    (fun seed ->
+      let scheme = scheme_of seed in
+      let image, meta = compile scheme seed in
+      let board =
+        {
+          (crashy_board ()) with
+          M.Board.harvester =
+            H.square_wave ~period:0.02 ~duty:0.55
+              (H.thevenin ~v_source:3.3 ~r_source:1500.);
+        }
+      in
+      let o, nvm =
+        M.Machine.run_with_nvm ~board ~image ~meta
+          {
+            M.Machine.default_options with
+            limit = M.Machine.Sim_time 0.15;
+            max_sim_time = 0.2;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+          }
+      in
+      let r, rnvm =
+        Ref_machine.run_with_nvm ~board ~image ~meta
+          {
+            Ref_machine.default_options with
+            Ref_machine.limit = Ref_machine.Sim_time 0.15;
+            max_sim_time = 0.2;
+            seed;
+            restart_on_halt = true;
+            record_io = true;
+            record_events = true;
+          }
+      in
+      norm o = norm_ref r && nvm = rnvm)
+
+(* An injected power failure mid-run (the n-th instruction-fetch site),
+   identically on the fast and the checked interpreter: the decoded
+   dispatcher's rollback/replay must be step-for-step equivalent to the
+   per-instruction path's.  The reference has no injection hooks, so the
+   machine differentials against itself with [fast] flipped. *)
+let prop_injected_failure_fast_vs_checked =
+  QCheck.Test.make ~count:12
+    ~name:"injected mid-run failure: fast path equals checked path"
+    seed_gen (fun seed ->
+      let scheme = scheme_of seed in
+      let image, meta = compile scheme seed in
+      let board = crashy_board () in
+      let run_with ~fast =
+        let h =
+          M.Machine.Step.start ~board ~image ~meta
+            {
+              M.Machine.default_options with
+              limit = M.Machine.Sim_time 0.1;
+              max_sim_time = 0.15;
+              seed;
+              restart_on_halt = true;
+              record_io = true;
+              record_events = true;
+              fast;
+            }
+        in
+        let fetches = ref 0 in
+        let target = 200 + (seed mod 400) in
+        M.Machine.Step.set_injector h
+          (Some
+             (fun site ->
+               match site with
+               | M.Machine.S_instr ->
+                   incr fetches;
+                   !fetches = target
+               | _ -> false));
+        while M.Machine.Step.step h do
+          ()
+        done;
+        (M.Machine.Step.outcome h, M.Machine.Step.nvm_data h)
+      in
+      let o1, nvm1 = run_with ~fast:true in
+      let o2, nvm2 = run_with ~fast:false in
+      norm o1 = norm o2 && nvm1 = nvm2)
+
+(* Pure observers (metrics registry, flight recorder) plus an armed but
+   always-false injector must leave the fast path's outcome untouched. *)
+let prop_observers_do_not_perturb =
+  QCheck.Test.make ~count:10
+    ~name:"armed observers and a false injector do not perturb the run"
+    seed_gen (fun seed ->
+      let scheme = scheme_of seed in
+      let image, meta = compile scheme seed in
+      let board = crashy_board () in
+      let base_opts =
+        {
+          M.Machine.default_options with
+          limit = M.Machine.Sim_time 0.1;
+          max_sim_time = 0.15;
+          seed;
+          restart_on_halt = true;
+          record_io = true;
+          record_events = true;
+        }
+      in
+      let plain = M.Machine.run ~board ~image ~meta base_opts in
+      let observed =
+        let h =
+          M.Machine.Step.start ~board ~image ~meta
+            {
+              base_opts with
+              metrics = Some (Gecko_obs.Metrics.create ());
+              flight = Some (Gecko_obs.Flight.create ~capacity:32 ());
+            }
+        in
+        M.Machine.Step.set_injector h (Some (fun _ -> false));
+        while M.Machine.Step.step h do
+          ()
+        done;
+        M.Machine.Step.outcome h
+      in
+      norm plain = norm observed)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "decoder"
+    [
+      ( "decode",
+        q
+          [
+            prop_decode_total_counts;
+            prop_fusion_respects_splits;
+            prop_decode_deterministic;
+            prop_decode_cache_hit;
+          ] );
+      ( "differential-checked",
+        q
+          [
+            prop_checked_matches_reference;
+            prop_outage_matches_reference;
+            prop_injected_failure_fast_vs_checked;
+            prop_observers_do_not_perturb;
+          ] );
+    ]

@@ -271,6 +271,11 @@ let prop_optimized_matches_reference =
       let image = Link.link p in
       let board = diff_board seed in
       let schedule = random_schedule seed in
+      (* Arm the pure observers on the optimized side for half the
+         seeds: a metrics registry and a flight recorder must not
+         perturb a single float of the outcome, and the reference knows
+         nothing of either. *)
+      let observers = seed mod 2 = 1 in
       let o =
         M.Machine.run ~board ~image ~meta
           {
@@ -283,6 +288,11 @@ let prop_optimized_matches_reference =
             record_io = true;
             record_events = true;
             timeline_bucket = Some 0.01;
+            metrics =
+              (if observers then Some (Gecko_obs.Metrics.create ()) else None);
+            flight =
+              (if observers then Some (Gecko_obs.Flight.create ~capacity:64 ())
+               else None);
           }
       in
       let r =
