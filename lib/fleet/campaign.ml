@@ -2,11 +2,9 @@ module Json = Gecko_obs.Json
 module Metrics = Gecko_obs.Metrics
 module Rng = Gecko_util.Rng
 module M = Gecko_machine.Machine
-module Board = Gecko_machine.Board
-module W = Gecko_workloads.Workload
 module Workbench = Gecko_harness.Workbench
 
-type device = {
+type device = Shard.device = {
   id : int;
   workload : string;
   scheme : Gecko_core.Scheme.t;
@@ -53,74 +51,27 @@ let elaborate (spec : Spec.t) =
 
 (* --- single device ---------------------------------------------------- *)
 
-let board_of = function
-  | Spec.Attack_rig -> Board.attack_rig ()
-  | Spec.Bench -> Board.default ()
+let run_device = Shard.run_device
 
-(* The one device runner every path shares: the campaign proper (flight
-   recorder only, when telemetry is on), and [replay]'s full-forensics
-   re-run (trace + flight + metrics).  Identical machine options except
-   for the pure observers, so a replayed device retraces its campaign
-   run step for step. *)
-let run_device_full ?trace ?flight ~(spec : Spec.t) ~field (d : device) =
-  let schedule = Field.schedule_at field ~x:d.x ~y:d.y in
-  let board = board_of d.board in
-  let image, meta, dec =
-    Workbench.decoded d.scheme ((W.find d.workload).W.build ()) ~board
-  in
-  let reg = Metrics.create () in
-  let o =
-    M.run ~board ~image ~meta
-      {
-        M.default_options with
-        schedule;
-        limit = M.Sim_time spec.Spec.duration;
-        max_sim_time = spec.Spec.duration +. 1.;
-        restart_on_halt = true;
-        record_events = true;
-        seed = d.seed;
-        metrics = Some reg;
-        trace;
-        flight;
-        decoded = Some dec;
-      }
-  in
-  let gauge name = Metrics.gauge_value (Metrics.gauge reg name) in
-  let agg =
-    Agg.of_device ~schedule ~energy_drained_j:(gauge "energy.drained_j")
-      ~energy_sourced_j:(gauge "energy.sourced_j") o
-  in
-  let latencies = Agg.detection_latencies ~schedule o in
-  (o, agg, reg, latencies)
+(* --- engines ----------------------------------------------------------- *)
 
-let device_telemetry (c : Telemetry.config) (d : device) ~latencies ~flight agg =
-  Telemetry.of_device ~weights:c.Telemetry.tel_weights
-    ~top_k:c.Telemetry.tel_top_k ~id:d.id ~seed:d.seed ~workload:d.workload
-    ~scheme:(Spec.scheme_slug d.scheme) ~board:(Spec.board_slug d.board)
-    ~x:d.x ~y:d.y ~latencies ~flight agg
+(* The engine is a runtime execution strategy, never part of the spec:
+   specs are embedded in reports and snapshots, which must be
+   byte-identical whichever engine produced them. *)
+type engine = Scalar | Lockstep
 
-let run_device ?telemetry ~(spec : Spec.t) ~field (d : device) =
-  let flight =
-    Option.map
-      (fun (c : Telemetry.config) ->
-        Gecko_obs.Flight.create ~capacity:c.Telemetry.tel_flight_capacity ())
-      telemetry
-  in
-  let _o, agg, reg, latencies = run_device_full ?flight ~spec ~field d in
-  let tel =
-    Option.map
-      (fun c ->
-        (* The dump rides along only if the device scores as an outlier;
-           [Telemetry.of_device] drops it otherwise. *)
-        let dump = Option.map Gecko_obs.Flight.to_json flight in
-        device_telemetry c d ~latencies ~flight:dump agg)
-      telemetry
-  in
-  (agg, reg, tel)
+let engine_slug = function Scalar -> "scalar" | Lockstep -> "lockstep"
+
+let engine_of_slug = function
+  | "scalar" -> Some Scalar
+  | "lockstep" -> Some Lockstep
+  | _ -> None
+
+let default_engine = Lockstep
 
 (* --- shards ----------------------------------------------------------- *)
 
-type shard_result = {
+type shard_result = Shard.t = {
   sr_id : int;
   sr_agg : Agg.t;
   sr_per_scheme : (string * Agg.t) list;
@@ -131,90 +82,32 @@ type shard_result = {
 
 let merge_groups groups =
   let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun (k, a) ->
-      let prev = Option.value ~default:Agg.empty (Hashtbl.find_opt tbl k) in
-      Hashtbl.replace tbl k (Agg.merge prev a))
-    groups;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  List.iter (fun (k, a) -> Shard.group_add tbl k a) groups;
+  Shard.sorted_groups tbl
 
 let shard_devices (spec : Spec.t) (devices : device array) sid =
   let lo = sid * spec.Spec.shard_size in
   let hi = min (lo + spec.Spec.shard_size) spec.Spec.devices in
   Array.sub devices lo (hi - lo)
 
-(* Each shard runs its devices serially in id order and aggregates
-   locally: one Agg per scheme/workload group plus a shard-local metrics
-   registry.  The shard result is a pure value; reduction happens later,
-   in shard order, whatever the pool width. *)
-let run_shard ?telemetry ~spec ~field ~devices sid =
-  let reg = Metrics.create () in
-  let agg = ref Agg.empty in
-  let per_scheme = ref [] and per_workload = ref [] in
-  let tel =
-    ref
-      (Option.map
-         (fun (c : Telemetry.config) ->
-           Telemetry.empty ~top_k:c.Telemetry.tel_top_k)
-         telemetry)
-  in
-  Array.iter
-    (fun d ->
-      let a, dev_reg, dev_tel = run_device ?telemetry ~spec ~field d in
-      Metrics.merge_into reg dev_reg;
-      agg := Agg.merge !agg a;
-      (match (!tel, dev_tel) with
-      | Some acc, Some t -> tel := Some (Telemetry.merge acc t)
-      | _ -> ());
-      per_scheme := (Spec.scheme_slug d.scheme, a) :: !per_scheme;
-      per_workload := (d.workload, a) :: !per_workload)
-    (shard_devices spec devices sid);
-  {
-    sr_id = sid;
-    sr_agg = !agg;
-    sr_per_scheme = merge_groups !per_scheme;
-    sr_per_workload = merge_groups !per_workload;
-    sr_metrics = Metrics.to_persist reg;
-    sr_telemetry = !tel;
-  }
+(* Each shard runs its devices in id order and streams them into the
+   shard accumulator the moment they finish — no per-device list
+   survives.  The shard result is a pure value; reduction happens later,
+   in shard order, whatever the pool width.  Both engines share the
+   accumulator, so their results are byte-identical. *)
+let run_shard ?(engine = default_engine) ?telemetry ~spec ~field ~devices sid =
+  let devs = shard_devices spec devices sid in
+  match engine with
+  | Lockstep -> Lockstep.run_shard ?telemetry ~spec ~field sid devs
+  | Scalar ->
+      let acc = Shard.acc_create ?telemetry sid in
+      Array.iter
+        (fun d -> Shard.acc_add acc d (Shard.run_device ?telemetry ~spec ~field d))
+        devs;
+      Shard.acc_finish acc
 
-let shard_to_json sr =
-  Json.Assoc
-    ([
-      ("shard", Json.Int sr.sr_id);
-      ("agg", Agg.to_json sr.sr_agg);
-      ( "per_scheme",
-        Json.Assoc (List.map (fun (k, a) -> (k, Agg.to_json a)) sr.sr_per_scheme)
-      );
-      ( "per_workload",
-        Json.Assoc
-          (List.map (fun (k, a) -> (k, Agg.to_json a)) sr.sr_per_workload) );
-      ("metrics", sr.sr_metrics);
-    ]
-    @
-    match sr.sr_telemetry with
-    | None -> []
-    | Some t -> [ ("telemetry", Telemetry.to_json t) ])
-
-let shard_of_json j =
-  let bad msg = invalid_arg ("Fleet.Campaign.shard_of_json: " ^ msg) in
-  let field k =
-    match Json.member k j with Some v -> v | None -> bad ("missing " ^ k)
-  in
-  let groups k =
-    match field k with
-    | Json.Assoc kvs -> List.map (fun (n, v) -> (n, Agg.of_json v)) kvs
-    | _ -> bad (k ^ " is not an object")
-  in
-  {
-    sr_id = (match field "shard" with Json.Int i -> i | _ -> bad "shard id");
-    sr_agg = Agg.of_json (field "agg");
-    sr_per_scheme = groups "per_scheme";
-    sr_per_workload = groups "per_workload";
-    sr_metrics = field "metrics";
-    sr_telemetry = Option.map Telemetry.of_json (Json.member "telemetry" j);
-  }
+let shard_to_json = Shard.to_json
+let shard_of_json = Shard.of_json
 
 (* --- snapshots (gecko.fleet/1) ---------------------------------------- *)
 
@@ -358,7 +251,8 @@ let stream_shard_line sr ~resumed ~cumulative =
       ("cumulative", Telemetry.to_json cumulative);
     ]
 
-let run ?snapshot_path ?resume ?max_shards ?telemetry (spec : Spec.t) =
+let run ?(engine = default_engine) ?snapshot_path ?resume ?max_shards ?telemetry
+    (spec : Spec.t) =
   ignore (Spec.validate spec);
   (match max_shards with
   | Some n when n < 1 ->
@@ -476,7 +370,7 @@ let run ?snapshot_path ?resume ?max_shards ?telemetry (spec : Spec.t) =
     | chunk ->
         let results =
           Workbench.pmap
-            (fun sid -> run_shard ?telemetry ~spec ~field ~devices sid)
+            (fun sid -> run_shard ~engine ?telemetry ~spec ~field ~devices sid)
             chunk
         in
         completed := !completed @ results;
@@ -545,6 +439,9 @@ type replay = {
   rp_metrics : Gecko_obs.Metrics.registry;
 }
 
+(* Replay always takes the scalar path — [Shard.run_device_full] with
+   the forensics kit attached — so replaying a lockstep campaign's
+   outlier is itself a cross-engine equality check. *)
 let replay ?(config = Telemetry.default_config) ~device_id (spec : Spec.t) =
   ignore (Spec.validate spec);
   if device_id < 0 || device_id >= spec.Spec.devices then
@@ -557,9 +454,11 @@ let replay ?(config = Telemetry.default_config) ~device_id (spec : Spec.t) =
     Gecko_obs.Flight.create ~capacity:config.Telemetry.tel_flight_capacity ()
   in
   let trace = Gecko_obs.Trace.create () in
-  let o, agg, reg, latencies = run_device_full ~trace ~flight ~spec ~field d in
+  let o, agg, reg, latencies =
+    Shard.run_device_full ~trace ~flight ~spec ~field d
+  in
   let tel =
-    device_telemetry
+    Shard.device_telemetry
       { config with Telemetry.tel_top_k = max 1 config.Telemetry.tel_top_k }
       d ~latencies
       ~flight:(Some (Gecko_obs.Flight.to_json flight))
@@ -584,7 +483,7 @@ let replay ?(config = Telemetry.default_config) ~device_id (spec : Spec.t) =
 let shrink_repro (rp : replay) =
   let d = rp.rp_device in
   let p, _meta =
-    Gecko_core.Pipeline.compile d.scheme ((W.find d.workload).W.build ())
+    Gecko_core.Pipeline.compile d.scheme (Workbench.workload_program d.workload)
   in
   {
     Gecko_faultinject.Shrink.r_prog = p;

@@ -1,0 +1,111 @@
+(* The batched shard engine: a window of devices stepped in lockstep
+   over the shared pre-decoded program, each device a [Machine.Step]
+   handle issued whole-block turns round-robin.  [Step.step_block] is
+   exactly one iteration of [Machine.run]'s main loop — a pre-decoded
+   block when the fast-path guard holds, one fully-checked scalar step
+   otherwise (attack edge, brown-out margin, checkpoint, monitor
+   deadline), rejoining block dispatch at the next boundary — so each
+   device's physics is bit-identical to the scalar engine by
+   construction, whatever the interleaving.
+
+   Determinism of the fold: a window of [width] consecutive devices is
+   run to completion, its results buffered (O(width), constant in the
+   campaign size), and emitted in ascending id order before the next
+   window starts.  Downstream consumption is the same streaming
+   {!Shard.acc} the scalar engine uses, so shard results are
+   byte-identical across engines and pool widths. *)
+
+module M = Gecko_machine.Machine
+module Metrics = Gecko_obs.Metrics
+
+let default_width = 256
+
+let width () =
+  match Sys.getenv_opt "GECKO_LOCKSTEP_WIDTH" with
+  | None | Some "" -> default_width
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> default_width)
+
+(* Whole-block turns per device per scheduling round.  Large enough to
+   amortize the slot scan, small enough that a window's devices advance
+   through simulated time together and share cache-resident decode
+   state. *)
+let quantum = 128
+
+type slot = {
+  sl_device : Shard.device;
+  sl_schedule : Gecko_emi.Schedule.t;
+  sl_reg : Metrics.registry;
+  sl_flight : Gecko_obs.Flight.t option;
+  sl_handle : M.Step.handle;
+}
+
+let start_slot ?telemetry ~spec ~field (d : Shard.device) =
+  let schedule = Field.schedule_at field ~x:d.Shard.x ~y:d.Shard.y in
+  let flight = Shard.flight_recorder telemetry in
+  let board, image, meta, dec = Shard.device_image d in
+  let reg = Metrics.create () in
+  let handle =
+    M.Step.start ~board ~image ~meta
+      (Shard.device_options ?flight ~spec ~schedule ~reg ~dec d)
+  in
+  {
+    sl_device = d;
+    sl_schedule = schedule;
+    sl_reg = reg;
+    sl_flight = flight;
+    sl_handle = handle;
+  }
+
+let finish_slot ?telemetry (s : slot) =
+  let o = M.Step.outcome s.sl_handle in
+  Shard.device_result ?telemetry ~schedule:s.sl_schedule ~reg:s.sl_reg
+    ~flight:s.sl_flight s.sl_device o
+
+let iter_devices ?telemetry ~(spec : Spec.t) ~field
+    (devices : Shard.device array) ~f =
+  let n = Array.length devices in
+  let w = width () in
+  let lo = ref 0 in
+  while !lo < n do
+    let count = min w (n - !lo) in
+    let slots =
+      Array.init count (fun i ->
+          Some (start_slot ?telemetry ~spec ~field devices.(!lo + i)))
+    in
+    let results = Array.make count None in
+    let live = ref count in
+    while !live > 0 do
+      for i = 0 to count - 1 do
+        match slots.(i) with
+        | None -> ()
+        | Some s ->
+            let turns = ref quantum in
+            let running = ref true in
+            while !running && !turns > 0 do
+              decr turns;
+              if not (M.Step.step_block s.sl_handle) then running := false
+            done;
+            if not !running then begin
+              results.(i) <- Some (finish_slot ?telemetry s);
+              slots.(i) <- None;
+              decr live
+            end
+      done
+    done;
+    for i = 0 to count - 1 do
+      (match results.(i) with
+      | Some r -> f devices.(!lo + i) r
+      | None -> assert false);
+      results.(i) <- None
+    done;
+    lo := !lo + count
+  done
+
+let run_shard ?telemetry ~spec ~field sid (devices : Shard.device array) =
+  let acc = Shard.acc_create ?telemetry sid in
+  iter_devices ?telemetry ~spec ~field devices ~f:(fun d r ->
+      Shard.acc_add acc d r);
+  Shard.acc_finish acc

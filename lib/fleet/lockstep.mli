@@ -1,0 +1,51 @@
+(** The batched fleet shard engine.
+
+    Steps a window of devices in lockstep over the shared pre-decoded
+    program: each device is a {!Gecko_machine.Machine.Step} handle
+    issued whole-block turns ({!Gecko_machine.Machine.Step.step_block})
+    round-robin.  A turn dispatches a pre-decoded block when the
+    fast-path guard holds and falls out to one fully-checked scalar step
+    otherwise (attack edge, brown-out margin, checkpoint, monitor
+    deadline, sleep), rejoining block dispatch at the next block
+    boundary — [Machine.run] is literally [while step_block do () done],
+    so per-device physics is bit-identical to the scalar engine by
+    construction.
+
+    Each window of [width] consecutive devices runs to completion, its
+    results are buffered (O(width), constant in the campaign size) and
+    emitted in ascending device-id order — the {!Shard.acc} fold
+    invariant — so shard results, merged reports, and telemetry are
+    byte-identical to the scalar engine at any [--jobs]. *)
+
+val default_width : int
+(** 256 devices per window. *)
+
+val width : unit -> int
+(** The window width: [GECKO_LOCKSTEP_WIDTH] when set to a positive
+    integer, else {!default_width}. *)
+
+val iter_devices :
+  ?telemetry:Telemetry.config ->
+  spec:Spec.t ->
+  field:Field.t ->
+  Shard.device array ->
+  f:
+    (Shard.device ->
+    Agg.t * Gecko_obs.Metrics.registry * Telemetry.t option ->
+    unit) ->
+  unit
+(** Run every device of the array under the lockstep engine, calling [f]
+    with each device's contribution in ascending array order.  Live
+    state is bounded by the window width: a finished device's handle is
+    dropped before [f] sees its (small) result, so memory per finished
+    device is O(1). *)
+
+val run_shard :
+  ?telemetry:Telemetry.config ->
+  spec:Spec.t ->
+  field:Field.t ->
+  int ->
+  Shard.device array ->
+  Shard.t
+(** {!iter_devices} folded through a {!Shard.acc}: the lockstep
+    equivalent of the scalar shard runner, byte-identical results. *)

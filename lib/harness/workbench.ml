@@ -99,6 +99,26 @@ let decoded scheme (prog : Cfg.program) ~(board : Board.t) =
 let decode_counts () =
   Mutex.protect cache_mutex (fun () -> (!decode_hits, !decode_misses))
 
+(* Workload CFG builds are deterministic and keyed by catalogue name, so
+   a fleet shard that elaborates thousands of devices re-runs each
+   builder once per process instead of once per device.  Shares
+   [cache_mutex] with the compile/decode caches for the same reason they
+   do: touched at run setup only. *)
+let workload_cache : (string, Gecko_isa.Cfg.program) Hashtbl.t =
+  Hashtbl.create 16
+
+let workload_program name =
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt workload_cache name with
+      | Some p -> p
+      | None ->
+          let p = (Gecko_workloads.Workload.find name).Gecko_workloads.Workload.build () in
+          Hashtbl.replace workload_cache name p;
+          p)
+
+let decoded_workload scheme name ~board =
+  decoded scheme (workload_program name) ~board
+
 let record_cache_metrics reg =
   let hits, misses = cache_counts () in
   let module Mx = Gecko_obs.Metrics in

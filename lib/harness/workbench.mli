@@ -38,6 +38,19 @@ val decode_counts : unit -> int * int
 (** Process-lifetime [(hits, misses)] of the decode cache (one miss per
     distinct (program, scheme, device) triple). *)
 
+val workload_program : string -> Cfg.program
+(** The catalogued workload's CFG, built once per process and memoized
+    by name (builds are deterministic).  Raises like
+    {!Gecko_workloads.Workload.find} on unknown names. *)
+
+val decoded_workload :
+  Gecko_core.Scheme.t ->
+  string ->
+  board:Gecko_machine.Board.t ->
+  Link.image * Gecko_core.Meta.t * Gecko_machine.Decode.t
+(** {!decoded} of {!workload_program}: the fleet engines' one-stop
+    image/meta/decoded lookup, every layer memoized. *)
+
 val record_cache_metrics : Gecko_obs.Metrics.registry -> unit
 (** Publish {!cache_counts} and {!decode_counts} as the
     [workbench.compile_cache_hits] / [workbench.compile_cache_misses] /

@@ -1717,21 +1717,26 @@ let step_once st =
     not st.stop
   end
 
-(* Main loop: whole decoded blocks whenever the guard holds; otherwise
-   (injector armed, tracing, low energy, pending monitor/attack/limit
-   event, solo slot, sleeping) one fully-checked step.  [Step.step]
-   clients keep the per-instruction path — fault-injection sites are
-   per instruction by definition. *)
+(* One main-loop turn: whole decoded blocks whenever the guard holds;
+   otherwise (injector armed, tracing, low energy, pending
+   monitor/attack/limit event, solo slot, sleeping) one fully-checked
+   step.  [Step.step] clients keep the per-instruction path —
+   fault-injection sites are per instruction by definition.  [run_state]
+   is literally [while step_block st do () done], so any driver issuing
+   [step_block] turns — the lockstep fleet engine interleaves turns from
+   thousands of devices — reproduces [run] bit for bit per device. *)
+let step_block st =
+  if
+    st.fast_enabled && st.powered && (not st.stop)
+    && (match st.injector with None -> true | Some _ -> false)
+    && (not st.tracing)
+    && try_fast_block st
+  then true
+  else step_once st
+
 let run_state st =
-  let continue_ = ref true in
-  while !continue_ do
-    if
-      st.fast_enabled && st.powered && (not st.stop)
-      && (match st.injector with None -> true | Some _ -> false)
-      && (not st.tracing)
-      && try_fast_block st
-    then ()
-    else continue_ := step_once st
+  while step_block st do
+    ()
   done;
   finish st
 
@@ -1747,6 +1752,7 @@ module Step = struct
   let start ~board ~image ~meta opts = make_state ~board ~image ~meta opts
   let set_injector st f = st.injector <- f
   let step = step_once
+  let step_block = step_block
   let finished st = st.stop
   let time st = st.ph.time
   let instructions st = st.instrs

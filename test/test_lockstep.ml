@@ -1,0 +1,272 @@
+(* The lockstep fleet engine's differential harness: per-device
+   byte-equality against the scalar engine over random campaign specs,
+   interleaved [Step.step_block] turns against a straight [Machine.run],
+   jobs and resume invariance of a lockstep campaign, and the
+   streaming-memory regression (no per-device materialization).
+
+   The equivalence obligation is the ref_machine discipline one layer
+   up: the scalar engine is the executable reference semantics, the
+   lockstep engine must be observationally identical — not approximately,
+   byte for byte, because campaign reports are folded floats and any
+   divergence compounds. *)
+
+module Fleet = Gecko_fleet
+module Campaign = Fleet.Campaign
+module Shard = Fleet.Shard
+module Lockstep = Fleet.Lockstep
+module Telemetry = Fleet.Telemetry
+module Spec = Fleet.Spec
+module Json = Gecko_obs.Json
+module Metrics = Gecko_obs.Metrics
+module Workbench = Gecko_harness.Workbench
+module M = Gecko_machine.Machine
+module Scheme = Gecko_core.Scheme
+
+(* --- random campaign specs ------------------------------------------- *)
+
+let workload_pool = [ "crc16"; "crc32"; "bitcnt"; "fir"; "blink" ]
+let scheme_pool = [ Scheme.Nvp; Scheme.Ratchet; Scheme.Gecko ]
+let board_pool = [ Spec.Attack_rig; Spec.Bench ]
+
+(* Non-empty subset of a small pool, picked by bitmask. *)
+let subset_gen pool =
+  QCheck.Gen.map
+    (fun mask -> List.filteri (fun i _ -> mask land (1 lsl i) <> 0) pool)
+    (QCheck.Gen.int_range 1 ((1 lsl List.length pool) - 1))
+
+(* Small but adversarial: every workload/scheme/board mix, attacker
+   counts from quiet to crowded (attackers sweep EMI windows over the
+   field; the boards' DC supplies give the square-wave-vs-steady power
+   contrast), durations long enough to cross checkpoint and reboot
+   boundaries. *)
+let spec_gen =
+  QCheck.Gen.(
+    let* devices = int_range 6 16 in
+    let* attackers = int_range 0 3 in
+    let* seed = int_range 0 9999 in
+    let* dur_ms = int_range 4 12 in
+    let* workload_mix = subset_gen workload_pool in
+    let* scheme_mix = subset_gen scheme_pool in
+    let* board_mix = subset_gen board_pool in
+    let* power_dbm = map float_of_int (int_range 25 45) in
+    return
+      (Spec.make ~devices ~attackers ~seed
+         ~duration:(float_of_int dur_ms /. 1000.)
+         ~shard_size:devices ~workload_mix ~scheme_mix ~board_mix ~power_dbm
+         ()))
+
+let spec_arb =
+  QCheck.make ~print:(fun s -> Json.to_string (Spec.to_json s)) spec_gen
+
+let tel_config = { Telemetry.default_config with Telemetry.tel_top_k = 2 }
+
+(* One device's observable contribution, rendered to a canonical string:
+   aggregate JSON + metrics persist JSON + telemetry record JSON. *)
+let result_string (agg, reg, tel) =
+  String.concat "\n"
+    [
+      Json.to_string (Fleet.Agg.to_json agg);
+      Json.to_string (Metrics.to_persist reg);
+      (match tel with
+      | Some t -> Json.to_string (Telemetry.to_json t)
+      | None -> "-");
+    ]
+
+let scalar_results spec =
+  let devices, field = Campaign.elaborate spec in
+  Array.map
+    (fun d ->
+      result_string (Shard.run_device ~telemetry:tel_config ~spec ~field d))
+    devices
+
+let lockstep_results spec =
+  let devices, field = Campaign.elaborate spec in
+  let out = Array.make (Array.length devices) "" in
+  Lockstep.iter_devices ~telemetry:tel_config ~spec ~field devices
+    ~f:(fun d r -> out.(d.Shard.id) <- result_string r);
+  out
+
+let prop_engines_agree_per_device =
+  QCheck.Test.make ~count:8 ~name:"lockstep = scalar, per device" spec_arb
+    (fun spec ->
+      let s = scalar_results spec and l = lockstep_results spec in
+      Array.length s = Array.length l
+      && Array.for_all2 (fun a b -> String.equal a b) s l)
+
+let prop_engines_agree_per_shard =
+  QCheck.Test.make ~count:6 ~name:"lockstep = scalar, whole shard" spec_arb
+    (fun spec ->
+      let devices, field = Campaign.elaborate spec in
+      let shard engine =
+        Json.to_string
+          (Campaign.shard_to_json
+             (Campaign.run_shard ~engine ~telemetry:tel_config ~spec ~field
+                ~devices 0))
+      in
+      String.equal (shard Campaign.Scalar) (shard Campaign.Lockstep))
+
+(* --- step_block turns = Machine.run, under interleaving --------------- *)
+
+(* Drive several devices' [Step.step_block] handles round-robin with a
+   deliberately awkward quantum and compare every outcome field against
+   a straight [Machine.run] of the same device: the lockstep engine's
+   core claim, without the fleet machinery around it. *)
+let test_interleaved_step_block_equals_run () =
+  let spec =
+    Spec.make ~devices:6 ~attackers:2 ~duration:0.01 ~shard_size:6 ~seed:21
+      ~power_dbm:40. ()
+  in
+  let devices, field = Campaign.elaborate spec in
+  let handles =
+    Array.map
+      (fun d ->
+        let schedule = Fleet.Field.schedule_at field ~x:d.Shard.x ~y:d.Shard.y in
+        let board, image, meta, dec = Shard.device_image d in
+        let reg = Metrics.create () in
+        (d, M.Step.start ~board ~image ~meta
+           (Shard.device_options ~spec ~schedule ~reg ~dec d)))
+      devices
+  in
+  let live = ref (Array.length handles) in
+  let finished = Array.make (Array.length handles) false in
+  while !live > 0 do
+    Array.iteri
+      (fun i (_, h) ->
+        if not finished.(i) then
+          for _ = 1 to 3 do
+            if (not finished.(i)) && not (M.Step.step_block h) then begin
+              finished.(i) <- true;
+              decr live
+            end
+          done)
+      handles
+  done;
+  Array.iter
+    (fun (d, h) ->
+      let stepped = M.Step.outcome h in
+      let schedule = Fleet.Field.schedule_at field ~x:d.Shard.x ~y:d.Shard.y in
+      let board, image, meta, dec = Shard.device_image d in
+      let reg = Metrics.create () in
+      let direct =
+        M.run ~board ~image ~meta
+          (Shard.device_options ~spec ~schedule ~reg ~dec d)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "device %d: interleaved step_block outcome = run"
+           d.Shard.id)
+        true
+        (stepped = direct))
+    handles
+
+(* --- lockstep campaign invariances ------------------------------------ *)
+
+let fleet_512 =
+  Spec.make ~devices:512 ~attackers:2 ~duration:0.004 ~shard_size:32 ~seed:13
+    ~power_dbm:40. ()
+
+let report_string ?(engine = Campaign.Lockstep) spec =
+  match (Campaign.run ~engine spec).Campaign.report with
+  | Some r -> Json.to_string (Fleet.Report.to_json r)
+  | None -> Alcotest.fail "campaign did not complete"
+
+let test_lockstep_jobs_byte_equality () =
+  let saved = Workbench.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Workbench.set_jobs saved)
+    (fun () ->
+      Workbench.set_jobs 1;
+      let serial = report_string fleet_512 in
+      Workbench.set_jobs 4;
+      let parallel = report_string fleet_512 in
+      Alcotest.(check string)
+        "512-device lockstep report, jobs=1 vs jobs=4" serial parallel)
+
+let test_lockstep_resume_equals_uninterrupted () =
+  let uninterrupted = report_string fleet_512 in
+  let snap = Filename.temp_file "gecko_lockstep" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      let partial =
+        Campaign.run ~engine:Campaign.Lockstep ~snapshot_path:snap
+          ~max_shards:5 fleet_512
+      in
+      Alcotest.(check bool)
+        "interrupted campaign yields no report" true
+        (partial.Campaign.report = None);
+      let resume = Campaign.load_snapshot snap in
+      let resumed = Campaign.run ~engine:Campaign.Lockstep ~resume fleet_512 in
+      Alcotest.(check int)
+        "resume takes the snapshotted shards as done" 5
+        resumed.Campaign.resumed_shards;
+      match resumed.Campaign.report with
+      | None -> Alcotest.fail "resumed campaign did not complete"
+      | Some r ->
+          Alcotest.(check string)
+            "resumed lockstep report equals the uninterrupted one"
+            uninterrupted
+            (Json.to_string (Fleet.Report.to_json r)))
+
+(* --- streaming-memory regression -------------------------------------- *)
+
+(* A 50k-device shard must fold through O(1) live memory per finished
+   device: the engine holds one window of handles plus the shard
+   accumulator, never a device list.  Sample the live heap every few
+   thousand finished devices after the first window completes; the
+   later samples must not grow with the device count (a reintroduced
+   per-device list at even ~100 words/device would add ~4M live words
+   between the reference sample and the end). *)
+let test_streaming_memory_bound () =
+  let n = 50_000 in
+  let spec =
+    Spec.make ~devices:n ~attackers:1 ~duration:0.0005 ~shard_size:n ~seed:3 ()
+  in
+  let devices, field = Campaign.elaborate spec in
+  let acc = Shard.acc_create 0 in
+  let finished = ref 0 in
+  let reference = ref 0 in
+  let worst_growth = ref 0 in
+  let sample () =
+    Gc.full_major ();
+    let live = (Gc.quick_stat ()).Gc.live_words in
+    if !reference = 0 then reference := live
+    else worst_growth := max !worst_growth (live - !reference)
+  in
+  Lockstep.iter_devices ~spec ~field devices ~f:(fun d r ->
+      Shard.acc_add acc d r;
+      incr finished;
+      if !finished mod 5_000 = 0 then sample ());
+  let sr = Shard.acc_finish acc in
+  Alcotest.(check int) "every device folded in" n sr.Shard.sr_agg.Fleet.Agg.devices;
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "live heap growth after the first sample stays bounded (worst %d words)"
+       !worst_growth)
+    true
+    (!worst_growth < 2_000_000)
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "lockstep"
+    [
+      ( "differential",
+        q [ prop_engines_agree_per_device; prop_engines_agree_per_shard ]
+        @ [
+            Alcotest.test_case "interleaved step_block = Machine.run" `Quick
+              test_interleaved_step_block_equals_run;
+          ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "512-device lockstep jobs=1 vs jobs=4" `Slow
+            test_lockstep_jobs_byte_equality;
+          Alcotest.test_case "512-device lockstep resume = uninterrupted" `Slow
+            test_lockstep_resume_equals_uninterrupted;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "50k-device shard streams in O(1) memory" `Slow
+            test_streaming_memory_bound;
+        ] );
+    ]
