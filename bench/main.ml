@@ -276,7 +276,11 @@ let dispatch_bench () =
    batched engine, so the harness hard-fails rather than publish numbers
    for two engines that disagree. *)
 let fleet_bench () =
-  let devices = match fidelity with E.Quick -> 64 | E.Full -> 512 in
+  (* 256 devices minimum even in quick mode: the lockstep engine batches
+     in windows of [Gecko_fleet.Lockstep.default_width] (= 256) devices,
+     so anything smaller measures its degenerate partial-window path and
+     under-reports the batched engine against scalar. *)
+  let devices = match fidelity with E.Quick -> 256 | E.Full -> 512 in
   let spec = Gecko_fleet.Spec.make ~devices ~attackers:2 ~seed:1 () in
   let run_engine engine =
     let t0 = now () in

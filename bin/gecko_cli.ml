@@ -27,6 +27,34 @@ let scheme_arg =
   let doc = "Recovery scheme: nvp, ratchet, gecko, gecko-noprune." in
   Arg.(value & opt scheme_conv Compiler.Scheme.Gecko & info [ "s"; "scheme" ] ~doc)
 
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "legacy" -> Ok Compiler.Mode.Legacy
+    | "sound" -> Ok Compiler.Mode.Sound
+    | "precise" -> Ok Compiler.Mode.Precise
+    | "speculative" | "spec" -> Ok Compiler.Mode.Speculative
+    | _ -> Error (`Msg "mode must be legacy | sound | precise | speculative")
+  in
+  let print ppf m = Format.pp_print_string ppf (Compiler.Mode.to_string m) in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  let doc =
+    "Pipeline precision/soundness mode: $(b,sound) (syntactic may-alias \
+     domain, the default), $(b,precise) (value-tracking alias domain), \
+     $(b,speculative) (optimistic checkpoint-slot reuse with the \
+     unprovable window clobbers guarded at runtime via the NVM undo \
+     log), or $(b,legacy) (the seed's optimistic, potentially unsound \
+     baseline — for overhead measurement only)."
+  in
+  Arg.(value & opt mode_conv Compiler.Mode.default & info [ "m"; "mode" ] ~doc)
+
+(* Speculative metas carry runtime guards; linking them into the image is
+   what arms the undo-log protocol. *)
+let link_with_guards p (meta : Compiler.Meta.t) =
+  Gecko.Isa.Link.link ~guards:meta.Compiler.Meta.guards p
+
 let find_workload name =
   if Filename.check_suffix name ".gasm" then
     match Gecko.Isa.Asm.parse_file name with
@@ -119,7 +147,7 @@ let compile_cmd =
             "Write the compiler profile as a Chrome trace-event JSON file \
              (.jsonl for line-delimited records).")
   in
-  let run name scheme disasm asm profile trace_out =
+  let run name scheme mode disasm asm profile trace_out =
     let registry =
       if profile then Some (Gecko.Obs.Metrics.create ()) else None
     in
@@ -127,14 +155,18 @@ let compile_cmd =
       if trace_out <> None then Some (Gecko.Obs.Trace.create ()) else None
     in
     let p, meta =
-      Compiler.Pipeline.compile ?obs:tracer ?metrics:registry scheme
+      Compiler.Pipeline.compile ~mode ?obs:tracer ?metrics:registry scheme
         (find_workload name)
     in
-    Format.printf "%s as %s:@.  %a@.  static checkpoint stores: %d@."
+    Format.printf "%s as %s (%s):@.  %a@.  static checkpoint stores: %d@."
       name
       (Compiler.Scheme.to_string scheme)
+      (Compiler.Mode.to_string mode)
       Compiler.Meta.pp_stats meta.Compiler.Meta.stats
       (Compiler.Pipeline.checkpoint_store_count p);
+    (match meta.Compiler.Meta.guards with
+    | [] -> ()
+    | gs -> Printf.printf "  speculation guards: %d\n" (List.length gs));
     (match registry with
     | Some reg ->
         let module Mx = Gecko.Obs.Metrics in
@@ -152,11 +184,12 @@ let compile_cmd =
     | Some tr, Some path -> write_trace path tr
     | _ -> ());
     if asm then print_string (Gecko.Isa.Asm.to_string p);
-    if disasm then print_string (Gecko.Isa.Link.disasm (Gecko.Isa.Link.link p))
+    if disasm then
+      print_string (Gecko.Isa.Link.disasm (link_with_guards p meta))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a workload and show pipeline statistics")
-    Term.(const run $ workload_arg $ scheme_arg $ disasm $ asm $ profile
-          $ trace_out)
+    Term.(const run $ workload_arg $ scheme_arg $ mode_arg $ disasm $ asm
+          $ profile $ trace_out)
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -229,10 +262,10 @@ let run_cmd =
              instruction on the checked path.  Outcomes are identical \
              either way; this exists for debugging and A/B timing.")
   in
-  let run name scheme seconds attack_mhz attack_at outages events trace_out
-      metrics_out timeline no_fast =
-    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
-    let image = Gecko.Isa.Link.link p in
+  let run name scheme mode seconds attack_mhz attack_at outages events
+      trace_out metrics_out timeline no_fast =
+    let p, meta = Compiler.Pipeline.compile ~mode scheme (find_workload name) in
+    let image = link_with_guards p meta in
     let board =
       if outages then
         {
@@ -352,13 +385,16 @@ let run_cmd =
     Printf.printf
       "%s as %s for %.2fs:\n  completions %d | reboots %d | JIT checkpoints %d \
        (%d failed) | rollbacks %d\n  recovery blocks run %d | detections %d | \
-       re-enables %d | corrupt resumes %d\n  forward-progress rate %.2f%% | \
+       re-enables %d | corrupt resumes %d%s\n  forward-progress rate %.2f%% | \
        final mode %s\n"
       name
       (Compiler.Scheme.to_string scheme)
       o.M.sim_time o.M.completions o.M.reboots o.M.jit_checkpoints
       o.M.jit_checkpoint_failures o.M.rollbacks o.M.recovery_block_runs
       o.M.detections o.M.reenables o.M.corruptions
+      (if Array.length image.Gecko.Isa.Link.guards > 0 then
+         Printf.sprintf " | misspeculations %d" o.M.misspeculations
+       else "")
       (100. *. M.forward_progress o)
       (Compiler.Policy.mode_to_string o.M.final_mode)
   in
@@ -366,8 +402,9 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a workload on the simulated intermittent system")
     Term.(
-      const run $ workload_arg $ scheme_arg $ seconds $ attack_mhz $ attack_at
-      $ outages $ events $ trace_out $ metrics_out $ timeline $ no_fast)
+      const run $ workload_arg $ scheme_arg $ mode_arg $ seconds $ attack_mhz
+      $ attack_at $ outages $ events $ trace_out $ metrics_out $ timeline
+      $ no_fast)
 
 (* --- fuzz ------------------------------------------------------------- *)
 
@@ -406,7 +443,7 @@ let fuzz_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the JSON report here (default: stdout).")
   in
-  let run name scheme budget seed pairs jobs out =
+  let run name scheme mode budget seed pairs jobs out =
     if budget < 1 then begin
       Printf.eprintf "--budget must be >= 1 (got %d)\n" budget;
       exit 1
@@ -419,8 +456,8 @@ let fuzz_cmd =
           exit 1
       | None -> Gecko.Util.Pool.default_jobs ()
     in
-    let p, meta = Compiler.Pipeline.compile scheme (find_workload name) in
-    let image = Gecko.Isa.Link.link p in
+    let p, meta = Compiler.Pipeline.compile ~mode scheme (find_workload name) in
+    let image = link_with_guards p meta in
     (* Exploration and fuzzing both want natural checkpoint/rollback
        traffic within a short workload, so starve a micro-cap board
        through a weak supply: the capacitor browns out every few hundred
@@ -453,9 +490,23 @@ let fuzz_cmd =
     (* A tight simulated-time cap keeps shrinking fast: candidate
        programs whose deletions destroyed termination would otherwise
        burn the full 30 s safety cap per replay. *)
+    (* Shrunk mutants re-link with RECOMPUTED guards: deletions shift
+       instruction indices, so the compile-time positions in [meta] go
+       stale, and a guard that slid off its store would unsoundly skip
+       the undo-log append.  The reused (register, colour) roots come
+       from [meta]'s restores — boundary ids are stable under shrink
+       deletions; only the code positions are recomputed. *)
+    let reguard prog =
+      match mode with
+      | Compiler.Mode.Speculative ->
+          Compiler.Pipeline.speculation_guards prog meta
+      | Compiler.Mode.Legacy | Compiler.Mode.Sound | Compiler.Mode.Precise ->
+          []
+    in
     let shrink_check board =
       FI.Shrink.default_check
-        ~compile:(fun prog -> (Gecko.Isa.Link.link prog, meta))
+        ~compile:(fun prog ->
+          (Gecko.Isa.Link.link ~guards:(reguard prog) prog, meta))
         ~board
         ~opts:{ FI.Explore.default_opts with Gecko.Machine.max_sim_time = 1.0 }
         ()
@@ -517,8 +568,8 @@ let fuzz_cmd =
        ~doc:
          "Exhaustive single-failure injection plus adversarial EMI-schedule \
           fuzzing against the crash-consistency oracle")
-    Term.(const run $ workload_arg $ scheme_arg $ budget $ seed $ pairs $ jobs
-          $ out)
+    Term.(const run $ workload_arg $ scheme_arg $ mode_arg $ budget $ seed
+          $ pairs $ jobs $ out)
 
 (* --- fleet ------------------------------------------------------------ *)
 

@@ -132,13 +132,18 @@ let walker (p : Cfg.program) =
   { wfuncs; wgraphs; wbodies; wfunc_index; wret_points }
 
 (* Every store that may alias [m], reachable from (fi, blk, idx) without
-   crossing a boundary.  Each path stops at its first such store (a cut
-   inserted before it re-protects everything behind it) or at a boundary.
-   When [interproc], the walk follows calls into the callee entry and
-   returns into every caller's return block (context-insensitive, hence
-   conservative); otherwise it stops at call/return terminators — the
-   seed's interprocedural blind spot, kept as the measurement baseline. *)
-let war_stores ~interproc w fi blk idx m ~f =
+   crossing a boundary.  By default each path stops at its first such
+   store (a cut inserted before it re-protects everything behind it) or
+   at a boundary; [~all:true] keeps scanning to the boundary so callers
+   enumerating EVERY hazardous store on a path (speculation guard
+   collection) see the ones behind the first.  [alias] is the may-alias
+   verdict for a candidate store against the load's reference — the
+   syntactic check or the value-tracking domain.  When [interproc], the
+   walk follows calls into the callee entry and returns into every
+   caller's return block (context-insensitive, hence conservative);
+   otherwise it stops at call/return terminators — the seed's
+   interprocedural blind spot, kept as the measurement baseline. *)
+let war_stores ?(all = false) ~interproc ~alias w fi blk idx ~f =
   let visited = Hashtbl.create 16 in
   let rec scan fi blk idx =
     let body = w.wbodies.(fi).(blk) in
@@ -150,9 +155,9 @@ let war_stores ~interproc w fi blk idx m ~f =
       | Instr.Boundary _ -> stop := true
       | instr -> (
           match Instr.mem_write instr with
-          | Some sw when may_alias sw m ->
+          | Some sw when alias fi blk !i sw ->
               f fi blk !i sw;
-              stop := true
+              if not all then stop := true
           | Some _ | None -> ()));
       incr i
     done;
@@ -181,8 +186,31 @@ let war_stores ~interproc w fi blk idx m ~f =
   in
   scan fi blk idx
 
-let war_hazards ?(strict = true) ?(interproc = true) (p : Cfg.program) =
+type domain = Syntactic | Value
+
+let war_hazards ?(domain = Syntactic) ?(strict = true) ?(interproc = true)
+    ?(all = false) (p : Cfg.program) =
   let w = walker p in
+  (* Value domain: one interval+congruence fixpoint per function, shared
+     by every load scanned below.  The verdict compares the load's
+     displacement abstracted at the load point against each candidate
+     store's displacement at the store point — both sound per-point, so
+     disjoint abstractions prove the addresses never coincide. *)
+  let vrs =
+    match domain with
+    | Syntactic -> [||]
+    | Value -> Array.map Vrange.analyze w.wgraphs
+  in
+  let alias_for fi bi idx (m : Instr.mref) =
+    match domain with
+    | Syntactic -> fun _sfi _sblk _sidx sw -> may_alias sw m
+    | Value ->
+        let m_av = Vrange.disp_before vrs.(fi) ~blk:bi ~idx m.Instr.disp in
+        fun sfi sblk sidx (sw : Instr.mref) ->
+          sw.Instr.space.Instr.space_id = m.Instr.space.Instr.space_id
+          && Vrange.may_equal m_av
+               (Vrange.disp_before vrs.(sfi) ~blk:sblk ~idx:sidx sw.Instr.disp)
+  in
   let out = ref [] in
   Array.iteri
     (fun fi (bodies : Instr.t array array) ->
@@ -197,7 +225,8 @@ let war_hazards ?(strict = true) ?(interproc = true) (p : Cfg.program) =
                   | Write _ ->
                       () (* WARAW-exempt: re-execution rewrites first *)
                   | Clobbered _ | No_write ->
-                      war_stores ~interproc w fi bi (idx + 1) m
+                      war_stores ~all ~interproc
+                        ~alias:(alias_for fi bi idx m) w fi bi (idx + 1)
                         ~f:(fun sfi sblk sidx sw ->
                           out :=
                             {

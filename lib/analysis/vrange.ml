@@ -1,0 +1,400 @@
+open Gecko_isa
+
+(* Interval + congruence abstract values for register contents, the
+   precision layer under {!Alias}'s value-tracking domain.
+
+   An abstract value bounds a register by an interval [lo, hi] (either
+   side optionally unbounded) and a congruence v = r (mod s):
+
+   - s = 0 means "exactly r" (a known constant);
+   - s >= 1 means v mod s = r with 0 <= r < s (s = 1 carries no
+     congruence information).
+
+   Transfer functions mirror {!Instr.eval_binop}'s 32-bit wrap (sext32):
+   any result whose mathematical interval escapes the signed 32-bit
+   range may wrap, so its bounds are dropped and its congruence survives
+   only when the stride divides 2^32 (wrapping subtracts a multiple of
+   2^32, which preserves residues exactly for power-of-two strides). *)
+
+let min32 = -0x80000000
+let max32 = 0x7FFFFFFF
+
+type av = Bot | V of { lo : int option; hi : int option; s : int; r : int }
+
+let top = V { lo = None; hi = None; s = 1; r = 0 }
+let bot = Bot
+let const c = V { lo = Some c; hi = Some c; s = 0; r = c }
+
+let is_bot = function Bot -> true | V _ -> false
+
+let pmod a m = ((a mod m) + m) mod m
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let is_pow2 s = s > 0 && s land (s - 1) = 0
+
+(* Normalize: a width-0 interval is a constant; keep congruence and
+   interval mutually consistent enough for soundness (full reduction is
+   unnecessary — both components are sound independently). *)
+let norm lo hi s r =
+  match (lo, hi) with
+  | Some a, Some b when a > b -> Bot
+  | Some a, Some b when a = b -> const a
+  | _ ->
+      if s = 0 then const r
+      else
+        let s = max s 1 in
+        V { lo; hi; s; r = pmod r s }
+
+let equal_av a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | V a, V b -> a.lo = b.lo && a.hi = b.hi && a.s = b.s && a.r = b.r
+  | Bot, V _ | V _, Bot -> false
+
+(* --- lattice ---------------------------------------------------------- *)
+
+let join_bound f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+(* Congruence join: the coarsest congruence implied by both.  Constants
+   join to their difference's gcd. *)
+let join_cong (s1, r1) (s2, r2) =
+  if s1 = 0 && s2 = 0 then
+    if r1 = r2 then (0, r1)
+    else
+      let g = abs (r1 - r2) in
+      (g, pmod r1 g)
+  else
+    let g = gcd (gcd s1 s2) (abs (r1 - r2)) in
+    if g = 0 then (0, r1) else (g, pmod r1 g)
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | V a, V b ->
+      let s, r = join_cong (a.s, a.r) (b.s, b.r) in
+      norm (join_bound min a.lo b.lo) (join_bound max a.hi b.hi) s r
+
+(* Widening: keep whichever bounds were already stable, drop the ones
+   still moving.  Congruences only coarsen along divisor chains, so they
+   terminate on their own and are kept exactly. *)
+let widen ~prev next =
+  match (prev, next) with
+  | Bot, x -> x
+  | x, Bot -> x
+  | V p, V n ->
+      let s, r = join_cong (p.s, p.r) (n.s, n.r) in
+      let lo = if p.lo = n.lo then n.lo else None in
+      let hi = if p.hi = n.hi then n.hi else None in
+      norm lo hi s r
+
+(* --- queries ----------------------------------------------------------- *)
+
+let cong_compatible (s1, r1) (s2, r2) =
+  if s1 = 0 && s2 = 0 then r1 = r2
+  else if s1 = 0 then pmod r1 s2 = pmod r2 s2
+  else if s2 = 0 then pmod r2 s1 = pmod r1 s1
+  else
+    let g = gcd s1 s2 in
+    g <= 1 || pmod r1 g = pmod r2 g
+
+let may_equal a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> false
+  | V a, V b ->
+      let lo_le v = match v with Some x -> x | None -> min_int in
+      let hi_ge v = match v with Some x -> x | None -> max_int in
+      max (lo_le a.lo) (lo_le b.lo) <= min (hi_ge a.hi) (hi_ge b.hi)
+      && cong_compatible (a.s, a.r) (b.s, b.r)
+
+let pp_av fmt = function
+  | Bot -> Format.fprintf fmt "bot"
+  | V { lo; hi; s; r } ->
+      let b = function Some x -> string_of_int x | None -> "_" in
+      if s = 0 then Format.fprintf fmt "%d" r
+      else if s = 1 then Format.fprintf fmt "[%s,%s]" (b lo) (b hi)
+      else Format.fprintf fmt "[%s,%s]=%d(mod %d)" (b lo) (b hi) r s
+
+(* --- transfer --------------------------------------------------------- *)
+
+(* Interval result with wrap awareness: if the mathematical bounds are
+   known and fit signed 32-bit, they are exact; otherwise the value may
+   wrap, so bounds vanish and the congruence is kept only for
+   power-of-two strides. *)
+let bounded lo hi s r =
+  let fits = function Some x -> x >= min32 && x <= max32 | None -> false in
+  if fits lo && fits hi then norm lo hi s r
+  else if s = 0 then
+    (* A constant result wraps deterministically: fold it exactly. *)
+    const (Instr.eval_binop Instr.Add r 0)
+  else if is_pow2 s then norm None None s r
+  else norm None None 1 0
+
+let opt_map2 f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let av_add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let s, r =
+        if a.s = 0 && b.s = 0 then (0, a.r + b.r)
+        else if a.s = 0 then (b.s, a.r + b.r)
+        else if b.s = 0 then (a.s, a.r + b.r)
+        else
+          let g = gcd a.s b.s in
+          (g, a.r + b.r)
+      in
+      bounded (opt_map2 ( + ) a.lo b.lo) (opt_map2 ( + ) a.hi b.hi) s r
+
+let av_neg = function
+  | Bot -> Bot
+  | V a ->
+      let flip = Option.map (fun x -> -x) in
+      bounded (flip a.hi) (flip a.lo) a.s (-a.r)
+
+let av_sub a b = av_add a (av_neg b)
+
+let av_mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let s, r =
+        if a.s = 0 && b.s = 0 then (0, a.r * b.r)
+        else if a.s = 0 then (abs (a.r * b.s), a.r * b.r)
+        else if b.s = 0 then (abs (b.r * a.s), a.r * b.r)
+        else (gcd (gcd (a.s * b.s) (a.r * b.s)) (b.r * a.s), a.r * b.r)
+      in
+      let products =
+        match (a.lo, a.hi, b.lo, b.hi) with
+        | Some al, Some ah, Some bl, Some bh ->
+            Some [ al * bl; al * bh; ah * bl; ah * bh ]
+        | _ -> None
+      in
+      let lo = Option.map (List.fold_left min max_int) products in
+      let hi = Option.map (List.fold_left max min_int) products in
+      bounded lo hi s r
+
+let av_shl a c =
+  if c < 0 || c > 31 then top else av_mul a (const (1 lsl c))
+
+let av_and_mask a m =
+  if m < 0 then top
+  else
+    match a with
+    | Bot -> Bot
+    | V a ->
+        (* v land m is within [0, m]; for a mask of the low bits the
+           result is v mod (m+1), which preserves power-of-two strides
+           dividing m+1. *)
+        let s, r =
+          if a.s = 0 then (0, a.r land m)
+          else if is_pow2 (m + 1) && is_pow2 a.s && (m + 1) mod a.s = 0 then
+            (a.s, a.r)
+          else (1, 0)
+        in
+        bounded (Some 0) (Some m) s r
+
+let bool_range = V { lo = Some 0; hi = Some 1; s = 1; r = 0 }
+
+(* --- per-function fixpoint -------------------------------------------- *)
+
+type state = av array (* indexed by Reg.to_int *)
+
+let state_top () = Array.make Reg.count top
+let state_bot () = Array.make Reg.count bot
+let copy_state (s : state) = Array.copy s
+
+let state_equal (a : state) (b : state) =
+  let ok = ref true in
+  for i = 0 to Reg.count - 1 do
+    if not (equal_av a.(i) b.(i)) then ok := false
+  done;
+  !ok
+
+let operand_av (st : state) = function
+  | Instr.Oreg r -> st.(Reg.to_int r)
+  | Instr.Oimm c -> const c
+
+let transfer (st : state) (i : Instr.t) =
+  match i with
+  | Instr.Li (d, c) -> st.(Reg.to_int d) <- const c
+  | Instr.Mov (d, s) -> st.(Reg.to_int d) <- st.(Reg.to_int s)
+  | Instr.Bin (op, d, s1, o2) ->
+      let a = st.(Reg.to_int s1) in
+      let b = operand_av st o2 in
+      let v =
+        match op with
+        | Instr.Add -> av_add a b
+        | Instr.Sub -> av_sub a b
+        | Instr.Mul -> av_mul a b
+        | Instr.Shl -> (
+            match b with
+            | V { s = 0; r = c; _ } -> av_shl a c
+            | _ -> top)
+        | Instr.And -> (
+            match b with
+            | V { s = 0; r = m; _ } -> av_and_mask a m
+            | _ -> top)
+        | Instr.Slt | Instr.Sle | Instr.Seq | Instr.Sne -> bool_range
+        | Instr.Div | Instr.Rem | Instr.Or | Instr.Xor | Instr.Shr
+        | Instr.Sra ->
+            top
+      in
+      st.(Reg.to_int d) <- v
+  | Instr.Ld (d, _) | Instr.In (d, _) | Instr.LdSlot (d, _, _) ->
+      st.(Reg.to_int d) <- top
+  | Instr.St _ | Instr.Out _ | Instr.Nop | Instr.Ckpt _ | Instr.CkptDyn _
+  | Instr.Boundary _ ->
+      ()
+
+(* Refine the interval of [av] against a one-sided bound. *)
+let refine_le av bound =
+  match av with
+  | Bot -> Bot
+  | V a ->
+      let hi =
+        match a.hi with Some h -> Some (min h bound) | None -> Some bound
+      in
+      norm a.lo hi a.s a.r
+
+let refine_ge av bound =
+  match av with
+  | Bot -> Bot
+  | V a ->
+      let lo =
+        match a.lo with Some l -> Some (max l bound) | None -> Some bound
+      in
+      norm lo a.hi a.s a.r
+
+(* Edge refinement for [Br (cond, t, then_, else_)]: sharpen [t] against
+   zero, and — when the block's last instruction is a comparison
+   defining [t] whose first operand is still live-unmodified (it IS the
+   last instruction) — sharpen the compared register too. *)
+let refine_edge (st : state) (body : Instr.t array) (cond : Instr.cond)
+    (t : Reg.t) ~taken =
+  let st = copy_state st in
+  let ti = Reg.to_int t in
+  (match (cond, taken) with
+  | Instr.Z, true | Instr.Nz, false -> st.(ti) <- const 0
+  | Instr.Z, false | Instr.Nz, true -> ()
+  | Instr.Ltz, true | Instr.Gez, false -> st.(ti) <- refine_le st.(ti) (-1)
+  | Instr.Ltz, false | Instr.Gez, true -> st.(ti) <- refine_ge st.(ti) 0
+  | Instr.Gtz, true | Instr.Lez, false -> st.(ti) <- refine_ge st.(ti) 1
+  | Instr.Gtz, false | Instr.Lez, true -> st.(ti) <- refine_le st.(ti) 0);
+  let n = Array.length body in
+  (if n > 0 then
+     match body.(n - 1) with
+     | Instr.Bin (op, d, q, Instr.Oimm c) when Reg.equal d t && not (Reg.equal q t)
+       -> (
+         let qi = Reg.to_int q in
+         (* The comparison result is nonzero exactly on the [taken]
+            branch of Nz (and the not-taken branch of Z). *)
+         let truth =
+           match cond with
+           | Instr.Nz -> Some taken
+           | Instr.Z -> Some (not taken)
+           | Instr.Ltz | Instr.Gez | Instr.Gtz | Instr.Lez -> None
+         in
+         match (op, truth) with
+         | Instr.Slt, Some true -> st.(qi) <- refine_le st.(qi) (c - 1)
+         | Instr.Slt, Some false -> st.(qi) <- refine_ge st.(qi) c
+         | Instr.Sle, Some true -> st.(qi) <- refine_le st.(qi) c
+         | Instr.Sle, Some false -> st.(qi) <- refine_ge st.(qi) (c + 1)
+         | Instr.Seq, Some true -> st.(qi) <- const c
+         | Instr.Sne, Some false -> st.(qi) <- const c
+         | _ -> ())
+     | _ -> ());
+  st
+
+type t = {
+  graph : Fgraph.t;
+  bodies : Instr.t array array;
+  (* states.(blk).(idx) = abstract register file BEFORE instruction
+     [idx]; index [n] is the state at the terminator. *)
+  states : state array array;
+}
+
+let widen_after = 3
+
+let analyze (g : Fgraph.t) =
+  let n = Fgraph.n_blocks g in
+  let bodies =
+    Array.map (fun (b : Cfg.block) -> Array.of_list b.Cfg.instrs) g.Fgraph.blocks
+  in
+  let entry_state = Array.make n (state_bot ()) in
+  let joins = Array.make n 0 in
+  (* Function entry: nothing is known about the register file (callers
+     and restart paths both land here). *)
+  entry_state.(0) <- state_top ();
+  let exit_state blk =
+    let st = copy_state entry_state.(blk) in
+    Array.iter (fun i -> transfer st i) bodies.(blk);
+    st
+  in
+  let worklist = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue b =
+    if not queued.(b) then begin
+      queued.(b) <- true;
+      Queue.add b worklist
+    end
+  in
+  enqueue 0;
+  while not (Queue.is_empty worklist) do
+    let blk = Queue.take worklist in
+    queued.(blk) <- false;
+    let out = exit_state blk in
+    let push succ incoming =
+      let prev = entry_state.(succ) in
+      let joined = Array.mapi (fun i av -> join prev.(i) av) incoming in
+      let next =
+        if joins.(succ) >= widen_after then
+          Array.mapi (fun i av -> widen ~prev:prev.(i) av) joined
+        else joined
+      in
+      if not (state_equal prev next) then begin
+        entry_state.(succ) <- next;
+        joins.(succ) <- joins.(succ) + 1;
+        enqueue succ
+      end
+    in
+    match g.Fgraph.blocks.(blk).Cfg.term with
+    | Instr.Br (cond, t, then_, else_) ->
+        push
+          (Fgraph.block_id g then_)
+          (refine_edge out bodies.(blk) cond t ~taken:true);
+        push
+          (Fgraph.block_id g else_)
+          (refine_edge out bodies.(blk) cond t ~taken:false)
+    | Instr.Jmp _ ->
+        List.iter (fun s -> push s out) g.Fgraph.succ.(blk)
+    | Instr.Call (_, _) ->
+        (* The callee may clobber every register before control returns
+           to the return block (a successor edge in Fgraph). *)
+        List.iter (fun s -> push s (state_top ())) g.Fgraph.succ.(blk)
+    | Instr.Ret | Instr.Halt -> ()
+  done;
+  let states =
+    Array.init n (fun blk ->
+        let body = bodies.(blk) in
+        let m = Array.length body in
+        let acc = Array.make (m + 1) [||] in
+        let st = copy_state entry_state.(blk) in
+        for i = 0 to m - 1 do
+          acc.(i) <- copy_state st;
+          transfer st body.(i)
+        done;
+        acc.(m) <- st;
+        acc)
+  in
+  { graph = g; bodies; states }
+
+let before t ~blk ~idx r =
+  let per_block = t.states.(blk) in
+  let idx = min idx (Array.length per_block - 1) in
+  per_block.(idx).(Reg.to_int r)
+
+let disp_before t ~blk ~idx = function
+  | Instr.Dconst c -> const c
+  | Instr.Dreg r -> before t ~blk ~idx r

@@ -1,0 +1,46 @@
+(** Interval + congruence value tracking for registers — the precision
+    layer behind {!Alias}'s [Value] domain.
+
+    An abstract value bounds a register by an optional interval and a
+    congruence [v = r (mod s)] ([s = 0] meaning exactly [r]).  Transfer
+    functions respect {!Gecko_isa.Instr.eval_binop}'s 32-bit wrap: any
+    result that may escape the signed 32-bit range loses its bounds and
+    keeps its congruence only for power-of-two strides.  The analysis is
+    a per-function forward fixpoint with branch refinement against zero
+    and against trailing [Slt]/[Sle]/[Seq] comparisons, widened after a
+    few joins per block so loops terminate. *)
+
+open Gecko_isa
+
+type av
+
+val top : av
+val bot : av
+val const : int -> av
+
+val is_bot : av -> bool
+val equal_av : av -> av -> bool
+val join : av -> av -> av
+
+val may_equal : av -> av -> bool
+(** Can the two abstract values denote the same concrete word?  [false]
+    only when the intervals are disjoint or the congruences are
+    incompatible — the sound "provably distinct" verdict alias analysis
+    needs. *)
+
+val pp_av : Format.formatter -> av -> unit
+
+type t
+
+val analyze : Fgraph.t -> t
+(** Fixpoint over one function.  Function entry and call-return blocks
+    assume nothing about the register file (callers, callees and restart
+    paths all land there). *)
+
+val before : t -> blk:int -> idx:int -> Reg.t -> av
+(** Abstract value of a register immediately before instruction [idx] of
+    block [blk] (index [n] = before the terminator). *)
+
+val disp_before : t -> blk:int -> idx:int -> Instr.disp -> av
+(** Abstract value of a memory displacement at a program point: constant
+    displacements are exact, register displacements read {!before}. *)

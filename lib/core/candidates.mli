@@ -23,7 +23,11 @@ type t = {
           carries one, and verification rejects the program. *)
 }
 
-val compute : Cfg.program -> t
+val compute : ?mode:Mode.t -> Cfg.program -> t
+(** [mode] (default [Sound]) selects the hazard verdicts carried in
+    {!field-hazards}: [Precise]/[Speculative] use the value-tracking
+    alias domain, and [Speculative] reports an empty set (its residual
+    hazards are guarded at run time, so pruning may ignore them). *)
 
 val site : t -> int -> site
 (** Lookup by boundary id; raises [Not_found]. *)

@@ -123,6 +123,7 @@ let gecko scheme (p : Cfg.program) (cands : Candidates.t)
         recovery_instrs = !recovery_instrs;
         lookup_table_instrs;
       };
+    guards = [];
   }
 
 let ratchet (p : Cfg.program) =
@@ -145,4 +146,5 @@ let ratchet (p : Cfg.program) =
         recovery_instrs = 0;
         lookup_table_instrs = 0;
       };
+    guards = [];
   }

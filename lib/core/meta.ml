@@ -26,7 +26,12 @@ type stats = {
   lookup_table_instrs : int;
 }
 
-type t = { scheme : Scheme.t; infos : (int, binfo) Hashtbl.t; stats : stats }
+type t = {
+  scheme : Scheme.t;
+  infos : (int, binfo) Hashtbl.t;
+  stats : stats;
+  guards : (string * string * int) list;
+}
 
 let zero_stats =
   {
@@ -40,7 +45,8 @@ let zero_stats =
     lookup_table_instrs = 0;
   }
 
-let empty scheme = { scheme; infos = Hashtbl.create 16; stats = zero_stats }
+let empty scheme =
+  { scheme; infos = Hashtbl.create 16; stats = zero_stats; guards = [] }
 
 let boundary_info t id = Hashtbl.find_opt t.infos id
 

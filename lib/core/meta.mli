@@ -43,7 +43,20 @@ type stats = {
       (** dispatch-table footprint, modelled per the paper (~130). *)
 }
 
-type t = { scheme : Scheme.t; infos : (int, binfo) Hashtbl.t; stats : stats }
+type t = {
+  scheme : Scheme.t;
+  infos : (int, binfo) Hashtbl.t;
+  stats : stats;
+  guards : (string * string * int) list;
+      (** Speculation guards: [(fname, block label, instr idx)] of every
+          owned checkpoint store whose (register, colour) slot some
+          boundary's restore reuses — the stores the optimistic reuse
+          pass trusts without the sound crash-window survival proof.
+          The linker marks these code slots so the runtime appends an
+          undo-log entry (the slot cell's old word) before each such
+          store; rollback replays the log before running restores.
+          Empty outside [Speculative] mode. *)
+}
 
 val empty : Scheme.t -> t
 

@@ -1,4 +1,5 @@
 open Gecko_isa
+module A = Gecko_analysis
 
 let default_budget = 4000
 
@@ -48,22 +49,36 @@ let pass ?obs ?metrics p name f =
         (float_of_int (Cfg.instr_count p)));
   r
 
+(* Speculation guards: the optimistic reuse pass lets a restore read a
+   slot owned by a (possibly distant) dominating boundary without the
+   sound crash-window survival proof.  The stores that actually endanger
+   a read are exactly the window clobbers the {!Verify.slots} scan
+   cannot exempt (most owner re-executions store the identical word —
+   loop-invariant re-checkpoints — and need nothing): each of those
+   carries a runtime guard, an undo-log append of the slot cell's old
+   value.  Rollback replays the log before running restores, so the
+   slot reads its as-of-commit value no matter what the crash window
+   overwrote.  Guard positions are named on the FINAL (post-emit)
+   program as (fname, block label, instr idx) for the linker. *)
+let speculation_guards (p : Cfg.program) (meta : Meta.t) =
+  Verify.slot_clobbers ~mode:Mode.Speculative p meta
+
 let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
-    ?(prune_reuse = true) ?(sound = true) ?obs ?metrics scheme prog =
+    ?(prune_reuse = true) ?(mode = Mode.default) ?obs ?metrics scheme prog =
   let p = pass ?obs ?metrics prog "copy" (fun () -> Copy.program prog) in
   let pass name f = pass ?obs ?metrics p name f in
-  let legacy = not sound in
+  let sound = Mode.is_sound mode in
   match scheme with
   | Scheme.Nvp -> (p, Meta.empty Scheme.Nvp)
   | Scheme.Ratchet | Scheme.Gecko_noprune | Scheme.Gecko ->
       let next_id = ref 0 in
-      pass "regions" (fun () -> ignore (Regions.form ~legacy ~next_id p));
+      pass "regions" (fun () -> ignore (Regions.form ~mode ~next_id p));
       let overhead = ckpt_overhead_estimate scheme in
       pass "split" (fun () ->
           ignore
             (Split.by_wcet ~next_id ~budget:budget_cycles
                ~ckpt_overhead:overhead p));
-      pass "regions2" (fun () -> ignore (Regions.form ~legacy ~next_id p));
+      pass "regions2" (fun () -> ignore (Regions.form ~mode ~next_id p));
       let meta =
         match scheme with
         | Scheme.Ratchet -> pass "emit" (fun () -> Emit.ratchet p)
@@ -73,6 +88,7 @@ let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
               | Scheme.Gecko ->
                   fun ~force_keep p cands ->
                     Prune.analyze_with ~force_keep ~sound
+                      ~speculative:(mode = Mode.Speculative)
                       ~slices:prune_slices ~reuse:prune_reuse p cands
               | Scheme.Gecko_noprune | Scheme.Ratchet | Scheme.Nvp ->
                   fun ~force_keep _p cands ->
@@ -80,23 +96,40 @@ let compile ?(budget_cycles = default_budget) ?(prune_slices = true)
                     Prune.keep_all cands
             in
             let cands, decisions, colors =
-              pass "coloring" (fun () -> Coloring.assign ~next_id ~analyze p)
+              pass "coloring" (fun () ->
+                  Coloring.assign ~mode ~next_id ~analyze p)
             in
             pass "emit" (fun () -> Emit.gecko scheme p cands decisions colors)
         | Scheme.Nvp -> assert false
       in
+      (* Speculative mode pruned optimistically: enumerate the owned
+         checkpoint stores of reused slots on the final program
+         (post-split, post-repair, post-emit — positions are the
+         linker's) and record them as runtime guards. *)
+      let meta =
+        match mode with
+        | Mode.Speculative ->
+            let guards = pass "guards" (fun () -> speculation_guards p meta) in
+            { meta with Meta.guards }
+        | Mode.Legacy | Mode.Sound | Mode.Precise -> meta
+      in
       pass "verify" (fun () ->
-          fail_on_errors "idempotence" (Verify.idempotence ~legacy p);
+          fail_on_errors "idempotence" (Verify.idempotence ~mode p);
           (match scheme with
           | Scheme.Gecko | Scheme.Gecko_noprune ->
               fail_on_errors "coloring" (Verify.coloring p meta);
               if sound then
-                fail_on_errors "slots" (Verify.slots p meta)
+                fail_on_errors "slots" (Verify.slots ~mode p meta)
           | Scheme.Ratchet | Scheme.Nvp -> ());
           (match scheme with
           | Scheme.Ratchet | Scheme.Gecko | Scheme.Gecko_noprune ->
               if sound then fail_on_errors "io_commit" (Verify.io_commit p)
           | Scheme.Nvp -> ());
+          (match mode with
+          | Mode.Speculative ->
+              fail_on_errors "speculation"
+                (Verify.speculation ~capacity:Link.Cells.undo_capacity p meta)
+          | Mode.Legacy | Mode.Sound | Mode.Precise -> ());
           fail_on_errors "wcet" (Verify.wcet ~budget:budget_cycles p));
       (p, meta)
 

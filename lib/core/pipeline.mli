@@ -25,7 +25,7 @@ val compile :
   ?budget_cycles:int ->
   ?prune_slices:bool ->
   ?prune_reuse:bool ->
-  ?sound:bool ->
+  ?mode:Mode.t ->
   ?obs:Gecko_obs.Trace.t ->
   ?metrics:Gecko_obs.Metrics.registry ->
   Scheme.t ->
@@ -36,19 +36,46 @@ val compile :
     the ablation study.  Raises [Failure] if a verification pass fails —
     a compiler bug, not a user error.
 
-    [sound] (default [true]) selects the may-alias-sound pipeline:
-    interprocedural WAR hazard detection in region formation, the
-    hazard-aware pruning discipline, and the independent [Verify.slots] /
-    [Verify.io_commit] gates.  [sound:false] reproduces the seed's
-    optimistic compiler and exists solely as the baseline for
-    soundness-overhead measurement (it can emit programs whose rollback
-    is unsound under dynamic addressing).
+    [mode] (default [Sound]) selects the precision/soundness point of the
+    whole pipeline (it supersedes the former [sound] flag):
+
+    - [Sound] — the may-alias-sound pipeline with the syntactic alias
+      domain: interprocedural WAR hazard detection in region formation,
+      the hazard-aware pruning discipline, and the independent
+      [Verify.slots] / [Verify.io_commit] gates.  Byte-identical to the
+      historical [sound:true] output.
+    - [Precise] — same gates, but hazard verdicts come from the
+      value-tracking alias domain ({!Gecko_analysis.Vrange}): provably
+      disjoint register-addressed accesses stop forcing anti-dependence
+      cuts.
+    - [Speculative] — same region formation as [Precise] (every
+      value-domain hazard is still cut, so regions stay idempotent), but
+      checkpoint pruning reuses slots optimistically, without the sound
+      crash-window survival proof.  Every owned checkpoint store of a
+      reused slot gets a runtime speculation guard (an undo-log append
+      of the slot's old word) recorded in {!Meta.t.guards}; rollback
+      replays the log before running restores, so reused slots read
+      their as-of-commit values.  Guard positions are exempted by
+      [Verify.slots] and capacity-bounded by [Verify.speculation].
+    - [Legacy] — the seed's optimistic compiler; exists solely as the
+      baseline for soundness-overhead measurement (it can emit programs
+      whose rollback is unsound under dynamic addressing).
 
     [obs] turns on the compiler profiler: every pass is recorded as a
     host-clock span (category ["compiler"]) with an [ir_instrs] counter
     sample after it.  [metrics] additionally collects per-pass wall-time
     histograms ([pipeline.<pass>.seconds]) and IR-size gauges
     ([pipeline.<pass>.ir_instrs]). *)
+
+val speculation_guards : Cfg.program -> Meta.t -> (string * string * int) list
+(** The owned checkpoint stores targeting a reused (register, colour)
+    slot of a (final, post-emit) program, as (function, block label,
+    instruction index) triples — what [compile ~mode:Speculative]
+    records in {!Meta.t.guards}.  A slot counts as reused when any
+    boundary's metadata carries a non-owned restore of it.  Exposed so
+    harnesses that re-link a mutated program (e.g. counterexample
+    shrinking) can recompute guard positions for the mutant instead of
+    reusing stale ones. *)
 
 val checkpoint_store_count : Cfg.program -> int
 (** Static count of checkpoint stores ([Ckpt] / [CkptDyn]) — Table III. *)

@@ -182,7 +182,16 @@ let try_slice prog g dom reaching defsites pb live pruned pinned r =
       with Unsliceable -> None)
 
 let analyze_with ?(force_keep = fun _ -> Reg.Set.empty) ?(sound = true)
-    ~slices ~reuse (p : Cfg.program) (cands : Candidates.t) =
+    ?(speculative = false) ~slices ~reuse (p : Cfg.program)
+    (cands : Candidates.t) =
+  (* [speculative] relaxes exactly the crash-window slot-overwrite
+     restrictions of the sound reuse pass (the span walk, the
+     direct-owner requirement and root pinning): with every owned store
+     of a reused slot carrying a runtime speculation guard, a rollback
+     replays the undo log first and the slot reads its as-of-commit
+     value no matter what the window overwrote.  Everything else — the
+     hazard quarantine, the slice discipline, repairs — stays sound. *)
+  let windowed = sound && not speculative in
   let result : result = Hashtbl.create 32 in
   (* Never prune across an unresolved dynamic hazard: if region formation
      left a may-alias WAR in some function (possible only when a caller
@@ -393,10 +402,10 @@ let analyze_with ?(force_keep = fun _ -> Reg.Set.empty) ?(sound = true)
                      colouring requested this store, so reuse must never
                      take it back. *)
                   Reg.Set.mem r (force_keep s.Candidates.s_id)
-                  || sound
-                     && (site_hazardous s
-                        || Hashtbl.mem root_pinned
-                             (s.Candidates.s_id, Reg.to_int r))
+                  || (sound && site_hazardous s)
+                  || windowed
+                     && Hashtbl.mem root_pinned
+                          (s.Candidates.s_id, Reg.to_int r)
                 in
                 match decision_for s.Candidates.s_id r with
                 | Some Keep when not blocked ->
@@ -411,7 +420,7 @@ let analyze_with ?(force_keep = fun _ -> Reg.Set.empty) ?(sound = true)
                           && Reg.Set.mem r o.Candidates.s_live
                           && A.Dom.dominates_point dom o.Candidates.s_point
                                s.Candidates.s_point
-                          && ((not sound) || is_owner o.Candidates.s_id r))
+                          && ((not windowed) || is_owner o.Candidates.s_id r))
                         sites
                     in
                     (* Nearest = dominated by all the others. *)
@@ -435,17 +444,17 @@ let analyze_with ?(force_keep = fun _ -> Reg.Set.empty) ?(sound = true)
                           match decision_for o.Candidates.s_id r with
                           | Some Keep | Some (Keep_stable _) ->
                               Some o.Candidates.s_id
-                          | Some (Reuse t) -> if sound then None else Some t
+                          | Some (Reuse t) -> if windowed then None else Some t
                           | Some (Prune _) | None -> None
                         in
                         match target with
                         | Some t
                           when no_defs_between fi defsites r
                                  o.Candidates.s_point s.Candidates.s_point
-                               && ((not sound)
+                               && ((not windowed)
                                   || no_owned_store_between o s r) ->
                             set_decision s.Candidates.s_id r (Reuse t);
-                            if sound then
+                            if windowed then
                               Hashtbl.replace root_pinned (t, Reg.to_int r)
                                 ();
                             changed := true

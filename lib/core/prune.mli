@@ -47,6 +47,7 @@ val max_slice_nodes : int
 val analyze :
   ?force_keep:(int -> Reg.Set.t) ->
   ?sound:bool ->
+  ?speculative:bool ->
   Cfg.program ->
   Candidates.t ->
   result
@@ -54,6 +55,7 @@ val analyze :
 val analyze_with :
   ?force_keep:(int -> Reg.Set.t) ->
   ?sound:bool ->
+  ?speculative:bool ->
   slices:bool ->
   reuse:bool ->
   Cfg.program ->
@@ -77,7 +79,17 @@ val analyze_with :
     - reuse roots are pinned so they remain owners in later rounds.
 
     [sound:false] reproduces the seed's optimistic analysis and exists
-    only as the baseline for soundness-overhead measurement. *)
+    only as the baseline for soundness-overhead measurement.
+
+    [speculative] (default [false], meaningful with [sound:true])
+    relaxes only the crash-window slot-overwrite restrictions of the
+    sound reuse pass — the interprocedural span walk, the direct-owner
+    requirement and root pinning — because the speculative pipeline
+    emits a runtime guard (an undo-log append) on every owned
+    checkpoint store of a reused slot: rollback replays the undo log
+    before running restores, so the slot reads its as-of-commit value
+    regardless of what the crash window overwrote.  The hazard
+    quarantine and the slice discipline stay fully sound. *)
 
 val keep_all : Candidates.t -> result
 (** The no-pruning configuration: every candidate kept. *)

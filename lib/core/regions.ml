@@ -76,12 +76,18 @@ let structural_pass next_id (p : Cfg.program) =
 (* Anti-dependence cuts: the may-alias WAR/WARAW hazard set lives in the
    analysis layer ({!A.Alias.war_hazards}); region formation resolves each
    hazard by inserting a boundary immediately before the offending store,
-   so a rollback can never land between the load and the store.  [legacy]
-   reproduces the seed's analysis (intraprocedural, optimistic WARAW scan)
-   — only the soundness-overhead measurement baseline compiles with it. *)
+   so a rollback can never land between the load and the store.  The
+   pipeline {!Mode} picks the hazard verdicts: [Legacy] reproduces the
+   seed's analysis (intraprocedural, optimistic WARAW scan) — only the
+   soundness-overhead measurement baseline compiles with it; [Precise]
+   and [Speculative] upgrade the may-alias test to the value-tracking
+   domain, so provably distinct slots and disjoint index ranges stop
+   forcing cuts. *)
 
-let hazards ?(legacy = false) (p : Cfg.program) =
-  A.Alias.war_hazards ~strict:(not legacy) ~interproc:(not legacy) p
+let hazards ?(mode = Mode.default) (p : Cfg.program) =
+  let legacy = not (Mode.is_sound mode) in
+  A.Alias.war_hazards ~domain:(Mode.alias_domain mode) ~strict:(not legacy)
+    ~interproc:(not legacy) p
 
 let insert_in_block (b : Cfg.block) idx instr =
   let rec go i = function
@@ -94,20 +100,27 @@ let insert_in_block (b : Cfg.block) idx instr =
 let func_by_name (p : Cfg.program) name =
   List.find (fun (f : Cfg.func) -> f.Cfg.fname = name) p.Cfg.funcs
 
-let rec war_fixpoint ~legacy next_id (p : Cfg.program) acc =
-  match hazards ~legacy p with
+let rec war_fixpoint ~mode next_id (p : Cfg.program) acc =
+  match hazards ~mode p with
   | [] -> acc
   | hz :: _ ->
       let f = func_by_name p hz.A.Alias.hz_store_func in
       let sblk, sidx = hz.A.Alias.hz_store in
       let blk = List.nth f.Cfg.blocks sblk in
       insert_in_block blk sidx (fresh next_id);
-      war_fixpoint ~legacy next_id p (acc + 1)
+      war_fixpoint ~mode next_id p (acc + 1)
 
-let form ?(legacy = false) ~next_id p =
+let form ?(mode = Mode.default) ~next_id p =
   let a = structural_pass next_id p in
-  let b = war_fixpoint ~legacy next_id p 0 in
+  (* Every mode cuts its hazard set to empty — [Speculative] included:
+     regions stay idempotent by construction, so re-execution after a
+     rollback is deterministic without any memory replay.  What
+     [Speculative] relaxes is downstream checkpoint PRUNING (optimistic
+     slot reuse with runtime-guarded roots; see {!Prune} and
+     {!Pipeline}), not the anti-dependence discipline.  Its hazard
+     verdicts come from the value-tracking domain, like [Precise]. *)
+  let b = war_fixpoint ~mode next_id p 0 in
   a + b
 
-let violations ?(legacy = false) (p : Cfg.program) =
-  List.map (Format.asprintf "%a" A.Alias.pp_hazard) (hazards ~legacy p)
+let violations ?(mode = Mode.default) (p : Cfg.program) =
+  List.map (Format.asprintf "%a" A.Alias.pp_hazard) (hazards ~mode p)

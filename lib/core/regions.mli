@@ -23,15 +23,20 @@
 open Gecko_isa
 module A = Gecko_analysis
 
-val form : ?legacy:bool -> next_id:int ref -> Cfg.program -> int
-(** Returns the number of boundaries inserted.  [legacy] selects the
-    seed's unsound hazard analysis (intraprocedural, optimistic WARAW
-    scan) — only the soundness-overhead measurement baseline uses it. *)
+val form : ?mode:Mode.t -> next_id:int ref -> Cfg.program -> int
+(** Returns the number of boundaries inserted.  [mode] picks the hazard
+    verdicts: [Legacy] is the seed's unsound analysis (intraprocedural,
+    optimistic WARAW scan — only the soundness-overhead measurement
+    baseline uses it); [Precise] upgrades the may-alias test to the
+    value-tracking domain; [Speculative] skips the anti-dependence cut
+    fixpoint entirely (residual hazards are guarded at run time by the
+    pipeline instead of cut). *)
 
-val hazards : ?legacy:bool -> Cfg.program -> A.Alias.hazard list
-(** Residual may-alias WAR hazards (empty on a correctly formed
-    program). *)
+val hazards : ?mode:Mode.t -> Cfg.program -> A.Alias.hazard list
+(** Residual may-alias WAR hazards under the mode's domain (empty on a
+    correctly formed program, except in [Speculative] mode where the
+    remaining hazards are exactly the ones needing runtime guards). *)
 
-val violations : ?legacy:bool -> Cfg.program -> string list
+val violations : ?mode:Mode.t -> Cfg.program -> string list
 (** Human-readable rendering of {!hazards} — the final verification
     pass. *)

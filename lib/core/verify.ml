@@ -1,8 +1,12 @@
 open Gecko_isa
 module A = Gecko_analysis
 
-let idempotence ?(legacy = false) p =
-  match Regions.violations ~legacy p with [] -> Ok () | errs -> Error errs
+let idempotence ?(mode = Mode.default) p =
+  (* Every mode — [Speculative] included — must cut its hazard set to
+     empty: regions are idempotent by construction and re-execution after
+     a rollback is deterministic without memory replay.  [mode] only
+     selects the alias domain the hazards are judged in. *)
+  match Regions.violations ~mode p with [] -> Ok () | errs -> Error errs
 
 let coloring p (meta : Meta.t) =
   let cands = Candidates.compute p in
@@ -65,9 +69,16 @@ let coloring p (meta : Meta.t) =
    boundary).  This re-derives the protection property directly from the
    emitted instruction stream, independent of how pruning/colouring
    reasoned — it is the gate that catches a reused restore routed at a
-   slot some later (e.g. repair) boundary overwrites. *)
-let slots p (meta : Meta.t) =
-  let cands = Candidates.compute p in
+   slot some later (e.g. repair) boundary overwrites.
+
+   The scan is shared: [slots] turns unexempted clobbers into errors
+   (minus the positions carrying a speculation guard — a guarded store
+   appends the slot's old word to the undo log, and rollback replays
+   the log before running restores, so the read survives by
+   construction); [slot_clobbers] returns their positions, which is
+   exactly how the speculative pipeline decides where guards go. *)
+let window_clobber_scan ?(mode = Mode.default) p (meta : Meta.t) =
+  let cands = Candidates.compute ~mode p in
   let w = Spans.make cands in
   let vf = Valueflow.make p cands in
   let site_tbl = Hashtbl.create 32 in
@@ -117,6 +128,10 @@ let slots p (meta : Meta.t) =
     in
     go 0 b.Cfg.instrs
   in
+  (* Unexempted clobbers as ((fname, label, idx), message); malformed
+     programs (a checkpoint store with no owning boundary) as plain
+     messages. *)
+  let clobbers = ref [] in
   let errs = ref [] in
   List.iter
     (fun (s : Candidates.site) ->
@@ -127,7 +142,7 @@ let slots p (meta : Meta.t) =
           if reads <> [] then
             Spans.iter_window w s ~f:(fun fi blk idx instr ->
                 match instr with
-                | Instr.Ckpt (wr, wc) -> (
+                | Instr.Ckpt (wr, wc) ->
                     List.iter
                       (fun (r, c, stable_r) ->
                         if Reg.equal wr r && wc = c then
@@ -153,18 +168,43 @@ let slots p (meta : Meta.t) =
                                 | None -> false
                               in
                               if not exempt then
-                                errs :=
-                                  Printf.sprintf
-                                    "restore of %s at boundary %d reads \
-                                     slot colour %d, overwritten inside \
-                                     its crash window by boundary %d's \
-                                     store"
-                                    (Reg.to_string r) s.Candidates.s_id c n
-                                  :: !errs)
-                      reads)
+                                let pos =
+                                  ( cands.Candidates.funcs.(fi).Cfg.fname,
+                                    cands.Candidates.graphs.(fi)
+                                      .A.Fgraph.blocks
+                                      .(blk)
+                                      .Cfg.label,
+                                    idx )
+                                in
+                                clobbers :=
+                                  ( pos,
+                                    Printf.sprintf
+                                      "restore of %s at boundary %d reads \
+                                       slot colour %d, overwritten inside \
+                                       its crash window by boundary %d's \
+                                       store"
+                                      (Reg.to_string r) s.Candidates.s_id c n
+                                  )
+                                  :: !clobbers)
+                      reads
                 | _ -> ()))
     cands.Candidates.sites;
-  match !errs with [] -> Ok () | e -> Error (List.rev e)
+  (List.rev !clobbers, List.rev !errs)
+
+let slot_clobbers ?mode p meta =
+  let clobbers, _ = window_clobber_scan ?mode p meta in
+  List.sort_uniq compare (List.map fst clobbers)
+
+let slots ?mode p (meta : Meta.t) =
+  let clobbers, errs = window_clobber_scan ?mode p meta in
+  let unguarded =
+    List.filter
+      (fun (pos, _) -> not (List.mem pos meta.Meta.guards))
+      clobbers
+  in
+  match errs @ List.map snd unguarded with
+  | [] -> Ok ()
+  | e -> Error e
 
 (* Atomic io_log commit: the runtime stages [Out] records per region and
    persists them only at the region commit point, so every [Out] must be
@@ -201,6 +241,40 @@ let io_commit (p : Cfg.program) =
         f.Cfg.blocks)
     p.Cfg.funcs;
   match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+(* Undo-log capacity gate: a crash window re-executes at most once per
+   rollback, so the undo log only ever holds the guarded stores of a
+   single window.  Statically bound that count per window so the runtime
+   append can never overflow the reserved NVM area. *)
+let speculation ~capacity p (meta : Meta.t) =
+  if meta.Meta.guards = [] then Ok ()
+  else begin
+    let cands = Candidates.compute ~mode:Mode.Speculative p in
+    let w = Spans.make cands in
+    let errs = ref [] in
+    List.iter
+      (fun (s : Candidates.site) ->
+        let count = ref 0 in
+        Spans.iter_window w s ~f:(fun fi blk idx instr ->
+            match instr with
+            | Instr.St _ | Instr.Ckpt _ ->
+                let fname = cands.Candidates.funcs.(fi).Cfg.fname in
+                let label =
+                  cands.Candidates.graphs.(fi).A.Fgraph.blocks.(blk).Cfg.label
+                in
+                if List.mem (fname, label, idx) meta.Meta.guards then
+                  incr count
+            | _ -> ());
+        if !count > capacity then
+          errs :=
+            Printf.sprintf
+              "crash window of boundary %d holds %d guarded stores, undo \
+               log capacity is %d"
+              s.Candidates.s_id !count capacity
+            :: !errs)
+      cands.Candidates.sites;
+    match !errs with [] -> Ok () | e -> Error (List.rev e)
+  end
 
 let wcet ~budget p =
   let over = Split.max_span p in

@@ -7,30 +7,53 @@
 
 open Gecko_isa
 
-val idempotence : ?legacy:bool -> Cfg.program -> (unit, string list) result
+val idempotence : ?mode:Mode.t -> Cfg.program -> (unit, string list) result
 (** No may-alias memory anti-dependence survives without a boundary
-    between the load and the store (WARAW-exempt pairs aside).  The
-    default is the sound interprocedural may-alias analysis;
-    [legacy:true] checks only the seed's optimistic criterion and exists
-    for soundness-overhead measurement. *)
+    between the load and the store (WARAW-exempt pairs aside), in every
+    mode — regions are idempotent by construction and re-execution after
+    a rollback is deterministic without memory replay.  [mode] (default
+    [Sound]) picks the hazard verdicts: [Legacy] checks only the seed's
+    optimistic criterion (soundness-overhead measurement baseline);
+    [Precise] and [Speculative] use the value-tracking domain. *)
 
 val coloring : Cfg.program -> Meta.t -> (unit, string list) result
 (** No two span-adjacent boundaries checkpoint the same register into the
     same slot colour. *)
 
-val slots : Cfg.program -> Meta.t -> (unit, string list) result
+val slot_clobbers :
+  ?mode:Mode.t -> Cfg.program -> Meta.t -> (string * string * int) list
+(** The positions — [(fname, block label, instr idx)], sorted — of every
+    checkpoint store that overwrites, inside some boundary's crash
+    window, a slot that boundary's committed recovery state reads,
+    without a value-equality or stability exemption.  On a sound or
+    precise image this is empty (that is what [slots] certifies); on a
+    speculative image it is precisely the set of stores that must carry
+    a runtime undo-log guard, which is how the pipeline computes
+    {!Meta.t.guards}. *)
+
+val slots : ?mode:Mode.t -> Cfg.program -> Meta.t -> (unit, string list) result
 (** Window-clobber gate: no slot read by a boundary's committed recovery
     state (restores — owned or reused — and recovery-block slot loads) is
     overwritten by a checkpoint store inside that boundary's crash
-    window, unless the overwrite provably stores the identical word.
-    Derived directly from the emitted instruction stream; in particular
-    it rejects a reused restore whose owner's slot a later (e.g. repair)
-    boundary clobbers. *)
+    window, unless the overwrite provably stores the identical word or
+    carries a speculation guard (a guarded store appends the slot's old
+    word to the undo log, and rollback replays the log before running
+    restores, so the read survives by construction).  Derived directly
+    from the emitted instruction stream; in particular it rejects a
+    reused restore whose owner's slot a later (e.g. repair) boundary
+    clobbers. *)
 
 val io_commit : Cfg.program -> (unit, string list) result
 (** Atomic io_log commit: every [Out] is followed in its block (modulo
     checkpoint stores) by the boundary that atomically commits its
     staged io_log record. *)
+
+val speculation :
+  capacity:int -> Cfg.program -> Meta.t -> (unit, string list) result
+(** Undo-log capacity gate ([Speculative] images only): no crash window
+    contains more guarded stores (plain or checkpoint) than the
+    runtime's reserved undo-log [capacity], so the per-store append can
+    never overflow.  Trivially [Ok] when the image carries no guards. *)
 
 val wcet : budget:int -> Cfg.program -> (unit, string list) result
 (** Every region span (with its emitted checkpoint stores) fits the

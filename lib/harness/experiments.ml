@@ -918,19 +918,39 @@ let budget_sweep _fidelity =
     [ 80; 120; 250; 500; 2000 ];
   { text = U.Table.render t; metrics = List.rev !ms }
 
-(* Soundness overhead: the may-alias-sound pipeline (hazard-aware region
-   formation, pinned reuse, slot/io-commit gates) keeps more checkpoints
-   and cuts more regions than the seed's optimistic compiler.  Measure
-   what that costs, per workload, under no-attack constant power. *)
+(* Soundness overhead: what may-alias soundness costs over the seed's
+   optimistic (unsound) compiler, per workload, under no-attack constant
+   power — and how much of it the precision ladder claws back.  Four
+   pipeline modes run against the same NVP baseline:
+
+   - [Legacy]: the seed's optimistic baseline (can be unsound);
+   - [Sound]: syntactic may-alias domain (the historical sound default);
+   - [Precise]: value-tracking alias domain, same cut discipline;
+   - [Speculative]: optimistic checkpoint-slot reuse, with the
+     unprovable window clobbers guarded at runtime.
+
+   The HEADLINE metric ([<wl>.soundness_overhead_pct]) is the residual
+   cost of the shipping sound configuration — Speculative — over
+   Legacy; the syntactic and value-domain columns are kept as
+   [<wl>.sound_overhead_pct] / [<wl>.precise_overhead_pct].  A negative
+   value means the sound build ran FASTER than the optimistic one
+   (boundary placement is budget-driven, so fewer/more WAR cuts move
+   WCET split points and occasionally land a luckier checkpoint layout);
+   negatives are flagged and counted ([negative_overheads]) rather than
+   celebrated. *)
 let soundness_overhead _fidelity =
   let board = Board.default () in
   let t =
     U.Table.create
       ~title:
-        "Soundness overhead — GECKO overhead vs NVP, sound pipeline vs the \
-         seed's optimistic (unsound) baseline (no power outage)"
+        "Soundness overhead — GECKO overhead vs NVP per pipeline mode; \
+         headline = speculative vs the seed's optimistic baseline (no \
+         power outage)"
       ~header:
-        [ "workload"; "sound"; "optimistic"; "soundness overhead" ]
+        [
+          "workload"; "legacy"; "sound"; "precise"; "speculative";
+          "headline";
+        ]
       ()
   in
   let rows =
@@ -944,48 +964,81 @@ let soundness_overhead _fidelity =
         let nvp =
           float_of_int (nvp_o.M.app_cycles + nvp_o.M.instrumentation_cycles)
         in
-        let overhead_pct ~sound =
-          let p, meta =
-            Core.Pipeline.compile ~sound Core.Scheme.Gecko (w.W.build ())
+        let overhead_pct mode =
+          let image, meta =
+            Workbench.compiled ~mode Core.Scheme.Gecko (w.W.build ())
           in
-          let o =
-            M.run ~board ~image:(Gecko_isa.Link.link p) ~meta M.default_options
-          in
+          let o = M.run ~board ~image ~meta M.default_options in
           100.
           *. ((float_of_int (o.M.app_cycles + o.M.instrumentation_cycles)
                /. nvp)
              -. 1.)
         in
-        (wname, overhead_pct ~sound:true, overhead_pct ~sound:false))
+        ( wname,
+          overhead_pct Core.Mode.Legacy,
+          overhead_pct Core.Mode.Sound,
+          overhead_pct Core.Mode.Precise,
+          overhead_pct Core.Mode.Speculative ))
       W.names
   in
+  (* Overhead-over-legacy in percentage points, and the matching
+     slowdown ratio for geomeans. *)
+  let pp over legacy = over -. legacy in
+  let ratio over legacy = (1. +. (over /. 100.)) /. (1. +. (legacy /. 100.)) in
   let ms = ref [] in
+  let negatives = ref 0 in
   List.iter
-    (fun (wname, sound, legacy) ->
-      ms := (wname ^ ".soundness_overhead_pct", sound -. legacy) :: !ms;
+    (fun (wname, legacy, sound, precise, spec) ->
+      let headline = pp spec legacy in
+      if headline < 0. then incr negatives;
+      ms :=
+        (wname ^ ".precise_overhead_pct", pp precise legacy)
+        :: (wname ^ ".sound_overhead_pct", pp sound legacy)
+        :: (wname ^ ".soundness_overhead_pct", headline)
+        :: !ms;
       U.Table.add_row t
         [
           wname;
-          Printf.sprintf "%+.1f%%" sound;
           Printf.sprintf "%+.1f%%" legacy;
-          Printf.sprintf "%+.1f pp" (sound -. legacy);
+          Printf.sprintf "%+.1f%%" sound;
+          Printf.sprintf "%+.1f%%" precise;
+          Printf.sprintf "%+.1f%%" spec;
+          Printf.sprintf "%+.1f pp%s" headline
+            (if headline < 0. then " (!)" else "");
         ])
     rows;
-  let geo_pp =
+  let geomean_pp sel =
     let ratios =
       List.map
-        (fun (_, sound, legacy) ->
-          (1. +. (sound /. 100.)) /. (1. +. (legacy /. 100.)))
+        (fun (_, legacy, sound, precise, spec) ->
+          ratio (sel (sound, precise, spec)) legacy)
         rows
     in
     100. *. (U.Stats.geomean ratios -. 1.)
   in
-  ms := ("geomean.soundness_overhead_pct", geo_pp) :: !ms;
+  let geo_sound = geomean_pp (fun (s, _, _) -> s) in
+  let geo_precise = geomean_pp (fun (_, p, _) -> p) in
+  let geo_spec = geomean_pp (fun (_, _, sp) -> sp) in
+  ms :=
+    ("negative_overheads", float_of_int !negatives)
+    :: ("geomean.precise_overhead_pct", geo_precise)
+    :: ("geomean.sound_overhead_pct", geo_sound)
+    :: ("geomean.soundness_overhead_pct", geo_spec)
+    :: !ms;
   {
     text =
       U.Table.render t
-      ^ Printf.sprintf "Geomean slowdown of sound over optimistic: %+.1f%%\n"
-          geo_pp;
+      ^ Printf.sprintf
+          "Geomean slowdown over optimistic: sound %+.1f%%, precise \
+           %+.1f%%, speculative %+.1f%% (headline)\n"
+          geo_sound geo_precise geo_spec
+      ^ (if !negatives > 0 then
+           Printf.sprintf
+             "(!) %d workload(s) ran FASTER sound than optimistic — a \
+              budget-driven boundary-placement artifact, see \
+              DESIGN.md.\n"
+             !negatives
+         else "");
     metrics = List.rev !ms;
   }
 

@@ -27,13 +27,13 @@ let fi_board () =
     v_backup = 2.8;
   }
 
-let compile ?budget_cycles scheme w =
+let compile ?budget_cycles ?mode scheme w =
   let prog = (W.Workload.find w).W.Workload.build () in
-  let p, meta = Core.Pipeline.compile ?budget_cycles scheme prog in
-  (Link.link p, meta)
+  let p, meta = Core.Pipeline.compile ?budget_cycles ?mode scheme prog in
+  (Link.link ~guards:meta.Core.Meta.guards p, meta)
 
-let explore ?(budget = 120) ?pairs scheme w =
-  let image, meta = compile scheme w in
+let explore ?(budget = 120) ?pairs ?mode scheme w =
+  let image, meta = compile ?mode scheme w in
   FI.Explore.explore ~jobs:2 ~budget ?pairs ~board:(fi_board ()) ~image ~meta ()
 
 (* {1 The explorer sweep: every workload x every scheme}
@@ -108,6 +108,31 @@ let test_formerly_failing_pairs () =
         (w ^ " no single or pair failures") []
         (List.map (fun f -> f.FI.Explore.f_detail) r.FI.Explore.failures))
     gecko_formerly_failing
+
+let test_mode_sweep mode () =
+  (* Acceptance sweep for the precision axis: with hazard verdicts from
+     the value-tracking alias domain (Precise), and with optimistic
+     checkpoint-slot reuse whose unprovable window clobbers carry
+     runtime undo-log guards (Speculative), GECKO must remain
+     crash-consistent at every explored single-failure site of every
+     workload — and survive k=2 pair exploration on the five formerly
+     defective ones, where a rollback (now an undo-log replay followed
+     by a register restore) interrupted by a second collapse must also
+     find only committed state. *)
+  List.iter
+    (fun w ->
+      let pairs = if List.mem w gecko_formerly_failing then Some 8 else None in
+      let r = explore ~budget:120 ?pairs ~mode Core.Scheme.Gecko w in
+      let tag = Printf.sprintf "gecko[%s]/%s" (Core.Mode.to_string mode) w in
+      Alcotest.(check bool) (tag ^ " baseline passes oracle") true
+        r.FI.Explore.baseline_ok;
+      Alcotest.(check bool)
+        (tag ^ " sites found") true
+        (r.FI.Explore.sites_total > 0);
+      Alcotest.(check (list Alcotest.string))
+        (tag ^ " no single or pair failures") []
+        (List.map (fun f -> f.FI.Explore.f_detail) r.FI.Explore.failures))
+    W.Workload.names
 
 (* {1 Census determinism and k=2 pairs} *)
 
@@ -315,6 +340,10 @@ let () =
             test_blink_io_log_intact;
           Alcotest.test_case "formerly-defective workloads, k=2 pairs" `Quick
             test_formerly_failing_pairs;
+          Alcotest.test_case "gecko landscape, precise mode" `Quick
+            (test_mode_sweep Core.Mode.Precise);
+          Alcotest.test_case "gecko landscape, speculative mode" `Quick
+            (test_mode_sweep Core.Mode.Speculative);
         ] );
       ( "explorer-mechanics",
         [

@@ -208,6 +208,7 @@ let norm_m (o : M.Machine.outcome) =
       o.M.Machine.reenables ),
     ( o.M.Machine.rollbacks,
       o.M.Machine.recovery_block_runs,
+      o.M.Machine.misspeculations,
       o.M.Machine.corruptions,
       o.M.Machine.io_out_count,
       o.M.Machine.io_log,
@@ -237,6 +238,7 @@ let norm_r (o : Ref_machine.outcome) =
       o.Ref_machine.reenables ),
     ( o.Ref_machine.rollbacks,
       o.Ref_machine.recovery_block_runs,
+      o.Ref_machine.misspeculations,
       o.Ref_machine.corruptions,
       o.Ref_machine.io_out_count,
       o.Ref_machine.io_log,
@@ -267,8 +269,16 @@ let prop_optimized_matches_reference =
             Core.Scheme.Gecko ]
           (seed mod 4)
       in
-      let p, meta = compile scheme seed in
-      let image = Link.link p in
+      (* A third of the Gecko seeds compile speculatively so the guarded
+         undo-log protocol (volatile mirrors, epoch-packed commits,
+         rollback replay) is diffed against the reference too. *)
+      let mode =
+        match scheme with
+        | Core.Scheme.Gecko when seed mod 3 = 0 -> Core.Mode.Speculative
+        | _ -> Core.Mode.default
+      in
+      let p, meta = Core.Pipeline.compile ~mode scheme (Gen_prog.generate seed) in
+      let image = Link.link ~guards:meta.Core.Meta.guards p in
       let board = diff_board seed in
       let schedule = random_schedule seed in
       (* Arm the pure observers on the optimized side for half the

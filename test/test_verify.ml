@@ -158,7 +158,7 @@ let test_legacy_accepts_clobbered_waraw () =
   (* Pinning the strengthening itself: the seed's criterion accepts the
      very program the sound gate rejects. *)
   check_ok "legacy idempotence trusts the stale write"
-    (Core.Verify.idempotence ~legacy:true (clobbered_waraw ()))
+    (Core.Verify.idempotence ~mode:Core.Mode.Legacy (clobbered_waraw ()))
 
 (* --- coloring --------------------------------------------------------- *)
 
